@@ -1,0 +1,314 @@
+package pjds
+
+// Repository-level benchmarks: one per table and figure of the paper,
+// plus the DESIGN.md ablations. Each regenerates its artefact through
+// internal/experiments and reports the headline numbers as custom
+// benchmark metrics.
+//
+// Matrix sizes default to scale 0.1 of the published dimensions so the
+// full suite finishes in minutes; set PJDS_SCALE=1 (and be patient)
+// to run at the published sizes. The cmd/ binaries produce the same
+// artefacts with progress output and plots.
+
+import (
+	"io"
+	"testing"
+
+	"pjds/internal/distmv"
+	"pjds/internal/experiments"
+)
+
+// BenchmarkTable1_DataReduction regenerates Table I's first row: the
+// pJDS-vs-ELLPACK storage reduction per test matrix.
+func BenchmarkTable1_DataReduction(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		for _, name := range experiments.Table1Matrices() {
+			m, err := experiments.Matrix(name, scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ell := NewELLPACK(m)
+			p, err := NewPJDS(m, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*DataReduction(ell, p), "redPct_"+name)
+		}
+	}
+}
+
+// BenchmarkTable1_SpMVM regenerates the full GF/s block of Table I
+// ({SP, DP} × {ECC on, off} × {ELLPACK-R, pJDS} × 4 matrices).
+func BenchmarkTable1_SpMVM(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			b.ReportMetric(r.DP.ECCOn.ELLPACKR.GFlops, "GFs_DP1_ELLR_"+r.Matrix)
+			b.ReportMetric(r.DP.ECCOn.PJDS.GFlops, "GFs_DP1_pJDS_"+r.Matrix)
+		}
+	}
+}
+
+// BenchmarkFig2_StorageAndUtilization regenerates the Fig. 2
+// comparison: stored elements and reserved-but-idle SIMT slots for
+// ELLPACK / ELLPACK-R / pJDS.
+func BenchmarkFig2_StorageAndUtilization(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig2("sAMG", scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.LaneEfficiency, "laneEffPct_"+r.Format)
+		}
+	}
+}
+
+// BenchmarkFig3_RowLengthHistograms regenerates the Fig. 3 histograms
+// and reports each matrix's mean row length.
+func BenchmarkFig3_RowLengthHistograms(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		entries, err := experiments.RunFig3(scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range entries {
+			b.ReportMetric(e.Histogram.Mean(), "meanNnzr_"+e.Matrix)
+		}
+	}
+}
+
+// BenchmarkSec2B_PCIeImpact regenerates the §II-B analysis: Eq. (3)/(4)
+// bounds and the measured PCIe-inclusive single-GPU performance.
+func BenchmarkSec2B_PCIeImpact(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunSec2B(scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.MaxNnzr50WorstCase, "eq3_worst_Nnzr")
+		b.ReportMetric(rep.MinNnzr10WorstCase, "eq4_worst_Nnzr")
+		for _, e := range rep.Effective {
+			b.ReportMetric(e.WithPCIGFlops, "GFs_withPCIe_"+e.Matrix)
+		}
+	}
+}
+
+// BenchmarkFig4_Timeline regenerates the task-mode event timeline.
+func BenchmarkFig4_Timeline(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		events, err := experiments.RunFig4Timeline("DLR1", scale, 8, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(events)), "events")
+	}
+}
+
+// benchmarkFig5 runs one strong-scaling sweep and reports task-mode
+// GF/s at the smallest and largest node counts.
+func benchmarkFig5(b *testing.B, matrixName string, nodes []int, format distmv.FormatKind) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunFig5(experiments.Fig5Config{
+			Matrix:     matrixName,
+			Scale:      scale,
+			Nodes:      nodes,
+			Iterations: 2,
+			Format:     format,
+		}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Mode != distmv.TaskMode {
+				continue
+			}
+			if p.Nodes == nodes[0] || p.Nodes == nodes[len(nodes)-1] {
+				b.ReportMetric(p.GFlops, "GFs_task_P"+itoa(p.Nodes))
+			}
+		}
+	}
+}
+
+// BenchmarkFig5a_DLR1Scaling regenerates Fig. 5a (DLR1, 1–32 nodes,
+// three modes; the task-mode endpoints are reported).
+func BenchmarkFig5a_DLR1Scaling(b *testing.B) {
+	benchmarkFig5(b, "DLR1", []int{1, 2, 4, 8, 16, 32}, distmv.FormatELLPACKR)
+}
+
+// BenchmarkFig5b_UHBRScaling regenerates Fig. 5b (UHBR, 5–32 nodes;
+// the paper cannot run below 5 nodes for memory reasons).
+func BenchmarkFig5b_UHBRScaling(b *testing.B) {
+	benchmarkFig5(b, "UHBR", []int{5, 8, 16, 32}, distmv.FormatELLPACKR)
+}
+
+// BenchmarkOutlook_PJDSCluster runs the paper's §IV outlook: the
+// multi-GPU code with pJDS as the device format (experiment E12).
+func BenchmarkOutlook_PJDSCluster(b *testing.B) {
+	benchmarkFig5(b, "DLR1", []int{4, 16}, distmv.FormatPJDS)
+}
+
+// BenchmarkOutlook_WeakScaling runs the weak-scaling study of the §IV
+// outlook ("more extensive scaling studies"): per-GPU problem size
+// held constant, task-mode efficiency reported at the endpoints.
+func BenchmarkOutlook_WeakScaling(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunWeakScaling(experiments.WeakConfig{
+			Matrix:     "DLR1",
+			BaseScale:  scale / 8,
+			Nodes:      []int{1, 2, 4, 8},
+			Iterations: 2,
+		}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Mode == distmv.TaskMode && p.Nodes == 8 {
+				b.ReportMetric(100*p.Efficiency, "effPct_task_P8")
+			}
+		}
+	}
+}
+
+// BenchmarkOutlook_FormatComparison runs the §IV "thorough comparison
+// of pJDS with sliced ELLPACK / sliced ELLR-T" across the Table I
+// matrices; pJDS's DP ECC-on GF/s per matrix is reported.
+func BenchmarkOutlook_FormatComparison(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.RunFormatComparison(scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Format == "pJDS" {
+				b.ReportMetric(c.GFlops, "GFs_pJDS_"+c.Matrix)
+			}
+		}
+	}
+}
+
+// The DESIGN.md ablations.
+
+func BenchmarkAblation_L2(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationL2("sAMG", scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].GFlops/pts[2].GFlops, "cache_speedup")
+	}
+}
+
+func BenchmarkAblation_SortWindow(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationSortWindow("sAMG", scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].Extra, "overhead_unsorted")
+		b.ReportMetric(pts[len(pts)-1].Extra, "overhead_global")
+	}
+}
+
+func BenchmarkAblation_BlockHeight(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationBlockHeight("sAMG", scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			b.ReportMetric(p.GFlops, "GFs_"+p.Setting)
+		}
+	}
+}
+
+func BenchmarkAblation_MPIProgress(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationMPIProgress("DLR1", scale, 8, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[1].GFlops/pts[0].GFlops, "async_speedup")
+	}
+}
+
+func BenchmarkAblation_RCM(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationRCM("scrambled", scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[1].GFlops/pts[0].GFlops, "rcm_speedup")
+	}
+}
+
+func BenchmarkAblation_ELLRT(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationELLRT("sAMG", scale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, p := range pts[:4] {
+			if p.GFlops > best {
+				best = p.GFlops
+			}
+		}
+		b.ReportMetric(pts[4].GFlops/best, "pjds_vs_best_ellrt")
+	}
+}
+
+func BenchmarkAblation_Partition(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationPartition(scale, 8, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].GFlops/pts[1].GFlops, "nnz_vs_rows_speedup")
+	}
+}
+
+func BenchmarkAblation_Occupancy(b *testing.B) {
+	scale := experiments.ScaleFromEnv()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationOccupancy("DLR1", scale, 8, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[1].GFlops/pts[0].GFlops, "no_derating_speedup")
+	}
+}
+
+// itoa avoids importing strconv for two call sites.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,35 @@
+// Command histogram reproduces Fig. 3: the row-length distribution
+// histograms (bin size 1, logarithmic relative share) of the DLR1,
+// DLR2, HMEp and sAMG test matrices.
+//
+// Usage:
+//
+//	histogram [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pjds/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "histogram:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("histogram", flag.ContinueOnError)
+	scale := fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, err := experiments.RunFig3(*scale, out)
+	return err
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.01"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DLR1", "DLR2", "HMEp", "sAMG", "non-zeros per row"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunHistogramBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command matinfo inspects sparse matrices: it prints structure
+// statistics, per-format storage footprints and the §II advisor's
+// verdict for MatrixMarket files or generated test matrices, walks the
+// Fig. 1 pJDS derivation on a worked example, and exports generated
+// matrices to MatrixMarket.
+//
+// Usage:
+//
+//	matinfo -demo                         # Fig. 1 worked example
+//	matinfo file.mtx                      # stats for a MatrixMarket file
+//	matinfo -gen HMEp -scale 0.05         # stats for a generated matrix
+//	matinfo -gen sAMG -scale 0.01 -out m.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pjds/internal/advisor"
+	"pjds/internal/experiments"
+	"pjds/internal/formats"
+	"pjds/internal/matrix"
+	"pjds/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "matinfo:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("matinfo", flag.ContinueOnError)
+	var (
+		demo  = fs.Bool("demo", false, "walk the Fig. 1 pJDS derivation on the worked example")
+		gen   = fs.String("gen", "", "generate a test matrix: DLR1, DLR2, HMEp, sAMG, UHBR")
+		scale = fs.Float64("scale", experiments.DefaultScale, "scale for -gen")
+		outMM = fs.String("out", "", "write the matrix to this MatrixMarket file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo {
+		return experiments.Fig1Demo(out)
+	}
+
+	var m *matrix.CSR[float64]
+	var name string
+	switch {
+	case *gen != "":
+		var err error
+		m, err = experiments.Matrix(*gen, *scale)
+		if err != nil {
+			return err
+		}
+		name = *gen
+	case fs.NArg() == 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		m, err = matrix.ReadMatrixMarket[float64](f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		name = fs.Arg(0)
+	default:
+		return fmt.Errorf("need -demo, -gen NAME, or a MatrixMarket file argument")
+	}
+
+	st := matrix.ComputeStats(m)
+	fmt.Fprintf(out, "%s: %s\n\n", name, st)
+	if err := printFootprints(out, m); err != nil {
+		return err
+	}
+	rec := advisor.Recommend(st, nil, nil)
+	fmt.Fprintf(out, "\nadvice: offload %s (PCIe penalty ~%.0f%%), format %s\n", rec.Offload, rec.PCIePenaltyPct, rec.Format)
+	for _, r := range rec.Reasons {
+		fmt.Fprintf(out, "  - %s\n", r)
+	}
+
+	if *outMM != "" {
+		f, err := os.Create(*outMM)
+		if err != nil {
+			return err
+		}
+		if err := matrix.WriteMatrixMarket(f, m); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *outMM)
+	}
+	return nil
+}
+
+// printFootprints renders the per-format storage comparison.
+func printFootprints(out io.Writer, m *matrix.CSR[float64]) error {
+	pj, err := formats.NewPJDS(m)
+	if err != nil {
+		return err
+	}
+	jds, err := formats.NewJDS(m)
+	if err != nil {
+		return err
+	}
+	sell, err := formats.NewSlicedELL(m, 32, m.NRows)
+	if err != nil {
+		return err
+	}
+	list := []formats.Format[float64]{
+		formats.NewCRS(m),
+		formats.NewELLPACK(m),
+		formats.NewELLPACKR(m),
+		sell,
+		pj,
+		jds,
+	}
+	ell := list[1]
+	rows := [][]string{{"format", "stored elems", "footprint MB (DP)", "vs ELLPACK"}}
+	for _, f := range list {
+		rows = append(rows, []string{
+			f.Name(),
+			fmt.Sprint(f.StoredElems()),
+			fmt.Sprintf("%.1f", float64(f.FootprintBytes())/(1<<20)),
+			fmt.Sprintf("%+.1f%%", -100*formats.DataReduction[float64](ell, f)),
+		})
+	}
+	return textplot.Table(out, rows)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "col_start") {
+		t.Error("demo output missing")
+	}
+}
+
+func TestRunGenExportImport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "sAMG", "-scale", "0.003", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pJDS", "advice:", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The exported file reads back through the file path.
+	buf.Reset()
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "advice:") {
+		t.Error("file path output missing")
+	}
+}
+
+func TestRunNoArguments(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no-argument invocation accepted")
+	}
+	if err := run([]string{"-gen", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if _, err := os.Stat("nonexistent.mtx"); err == nil {
+		t.Skip("unexpected file present")
+	}
+	if err := run([]string{"nonexistent.mtx"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,44 @@
+// Command papercheck is the reproduction certificate: it re-runs the
+// paper's experiments and grades every DESIGN.md shape claim
+// (PASS/FAIL per claim; non-zero exit when any claim fails).
+//
+// Usage:
+//
+//	papercheck [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pjds/internal/experiments"
+)
+
+func main() {
+	failures, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "papercheck:", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes the certificate and returns the failure count.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("papercheck", flag.ContinueOnError)
+	scale := fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	results, err := experiments.CheckReproduction(*scale, out)
+	if err != nil {
+		return 0, err
+	}
+	failures := experiments.CountFailures(results)
+	fmt.Fprintf(out, "\n%d checks, %d failed\n", len(results), failures)
+	return failures, nil
+}

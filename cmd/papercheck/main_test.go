@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPapercheckTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	failures, err := run([]string{"-scale", "0.02"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "checks,") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+	if failures != 0 {
+		t.Errorf("%d reproduction checks failed at tiny scale:\n%s", failures, out)
+	}
+}
+
+func TestRunPapercheckBadFlag(t *testing.T) {
+	if _, err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

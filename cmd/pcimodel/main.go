@@ -1,0 +1,62 @@
+// Command pcimodel explores the §II-B performance model: the code
+// balance of Eq. (1), the kernel/PCIe time split of Eq. (2), and the
+// N_nzr viability bounds of Eqs. (3) and (4), alongside the measured
+// PCIe impact on the simulated device.
+//
+// Usage:
+//
+//	pcimodel [-scale 0.1]
+//	pcimodel -balance            # Eq. (1) sweep only, no simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pjds/internal/experiments"
+	"pjds/internal/perfmodel"
+	"pjds/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pcimodel:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pcimodel", flag.ContinueOnError)
+	scale := fs.Float64("scale", experiments.DefaultScale, "matrix scale for the measured part")
+	balance := fs.Bool("balance", false, "print the Eq. (1) code-balance sweep only")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if err := printBalanceSweep(out); err != nil {
+		return err
+	}
+	if *balance {
+		return nil
+	}
+	fmt.Fprintln(out)
+	_, err := experiments.RunSec2B(*scale, out)
+	return err
+}
+
+// printBalanceSweep renders Eq. (1) over the α × N_nzr plane.
+func printBalanceSweep(w io.Writer) error {
+	rows := [][]string{{"Nnzr \\ alpha", "1/Nnzr (ideal)", "0.25", "0.5", "1.0 (worst)"}}
+	for _, nnzr := range []float64{7, 15, 50, 123, 144, 315} {
+		row := []string{fmt.Sprintf("%.0f", nnzr)}
+		for _, alpha := range []float64{perfmodel.AlphaIdeal(nnzr), 0.25, 0.5, 1} {
+			row = append(row, fmt.Sprintf("%.2f", perfmodel.CodeBalanceDP(alpha, nnzr)))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(w, "Eq. (1) — double-precision code balance B_W [bytes/flop]")
+	return textplot.Table(w, rows)
+}

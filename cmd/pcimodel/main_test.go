@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBalanceOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-balance"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Eq. (1)") || !strings.Contains(out, "315") {
+		t.Errorf("balance sweep missing:\n%s", out)
+	}
+	// -balance must not run the (slow) measured part.
+	if strings.Contains(out, "with PCIe") {
+		t.Error("measured part ran despite -balance")
+	}
+}
+
+func TestRunMeasured(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.005"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Eq. (3)", "Eq. (4)", "with PCIe", "HMEp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command scaling reproduces the distributed-memory experiments of
+// §III: the strong-scaling curves of Fig. 5 (DLR1 and UHBR, three
+// communication schemes), the Fig. 4 task-mode timeline, per-phase
+// cost breakdowns, Chrome trace export, the weak-scaling outlook
+// study, and the cluster-side ablations.
+//
+// Usage:
+//
+//	scaling -matrix dlr1 [-scale 1] [-nodes 1,2,4,8,16,24,32] [-iters 3]
+//	scaling -matrix uhbr -format pjds
+//	scaling -timeline -matrix dlr1 -timelinenodes 8
+//	scaling -breakdown -matrix dlr1 -timelinenodes 16
+//	scaling -trace out.json -matrix dlr1
+//	scaling -weak -matrix dlr1 -basescale 0.03
+//	scaling -ablations -matrix dlr1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pjds/internal/distmv"
+	"pjds/internal/experiments"
+	"pjds/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scaling", flag.ContinueOnError)
+	var (
+		matrixArg = fs.String("matrix", "DLR1", "matrix: DLR1 or UHBR (any catalog name accepted)")
+		scale     = fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size")
+		nodesArg  = fs.String("nodes", "", "comma-separated node counts (default per matrix)")
+		iters     = fs.Int("iters", 3, "timed spMVM iterations")
+		formatArg = fs.String("format", "ellpack-r", "device format: ellpack-r or pjds")
+		timeline  = fs.Bool("timeline", false, "print the Fig. 4 task-mode timeline instead of scaling")
+		tlNodes   = fs.Int("timelinenodes", 8, "node count for -timeline/-breakdown/-trace")
+		breakdown = fs.Bool("breakdown", false, "print the per-phase cost breakdown of one iteration")
+		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of one task-mode iteration to this file")
+		weak      = fs.Bool("weak", false, "run the weak-scaling study instead of Fig. 5's strong scaling")
+		baseScale = fs.Float64("basescale", 0.02, "per-node matrix scale for -weak")
+		ablations = fs.Bool("ablations", false, "run the cluster-side ablations")
+		gpusNode  = fs.Int("gpuspernode", 1, "GPUs per physical node (intra-node traffic uses shared memory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	format := distmv.FormatELLPACKR
+	switch strings.ToLower(*formatArg) {
+	case "ellpack-r", "ellpackr":
+	case "pjds":
+		format = distmv.FormatPJDS
+	default:
+		return fmt.Errorf("unknown format %q", *formatArg)
+	}
+
+	switch {
+	case *breakdown:
+		return runBreakdown(out, *matrixArg, *scale, *tlNodes, format, *gpusNode)
+	case *timeline:
+		_, err := experiments.RunFig4Timeline(*matrixArg, *scale, *tlNodes, out)
+		return err
+	case *traceOut != "":
+		return runTrace(out, *traceOut, *matrixArg, *scale, *tlNodes, format)
+	case *ablations:
+		if _, err := experiments.AblationMPIProgress(*matrixArg, *scale, 8, out); err != nil {
+			return err
+		}
+		if _, err := experiments.AblationOccupancy(*matrixArg, *scale, 8, out); err != nil {
+			return err
+		}
+		_, err := experiments.AblationPartition(*scale, 8, out)
+		return err
+	}
+
+	nodes, err := parseNodes(*nodesArg, *matrixArg)
+	if err != nil {
+		return err
+	}
+	if *weak {
+		_, err := experiments.RunWeakScaling(experiments.WeakConfig{
+			Matrix:     *matrixArg,
+			BaseScale:  *baseScale,
+			Nodes:      nodes,
+			Iterations: *iters,
+			Format:     format,
+		}, out)
+		return err
+	}
+	_, err = experiments.RunFig5(experiments.Fig5Config{
+		Matrix:     *matrixArg,
+		Scale:      *scale,
+		Nodes:      nodes,
+		Iterations: *iters,
+		Format:     format,
+	}, out)
+	return err
+}
+
+// runBreakdown prints the per-phase costs of one iteration per mode.
+func runBreakdown(out io.Writer, name string, scale float64, nodes int, format distmv.FormatKind, gpusPerNode int) error {
+	m, err := experiments.Matrix(name, scale)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1
+	}
+	for _, mode := range distmv.Modes() {
+		res, err := distmv.RunSpMVM(m, x, nodes, mode, distmv.Config{
+			Iterations: 1, Format: format, GPUsPerNode: gpusPerNode,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n%s on %d nodes (%.3g s/iter, %.2f GF/s):\n", mode, nodes, res.PerIterSeconds, res.GFlops)
+		for phase, sec := range res.Breakdown() {
+			fmt.Fprintf(out, "  %-18s %8.1f us (%.0f%%)\n", phase, 1e6*sec, 100*sec/res.PerIterSeconds)
+		}
+	}
+	return nil
+}
+
+// runTrace writes a Chrome trace-event file for one task-mode
+// iteration.
+func runTrace(out io.Writer, path, name string, scale float64, nodes int, format distmv.FormatKind) error {
+	m, err := experiments.Matrix(name, scale)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1
+	}
+	res, err := distmv.RunSpMVM(m, x, nodes, distmv.TaskMode, distmv.Config{Iterations: 1, Format: format})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteCluster(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (open in chrome://tracing or Perfetto)\n", path)
+	return nil
+}
+
+// parseNodes parses "-nodes 1,2,4" or picks the paper's per-matrix
+// default (UHBR does not fit below 5 C2050 nodes at full scale, so its
+// sweep starts there, as in Fig. 5b).
+func parseNodes(arg, matrix string) ([]int, error) {
+	if arg == "" {
+		if strings.EqualFold(matrix, "uhbr") {
+			return []int{5, 8, 12, 16, 20, 24, 28, 32}, nil
+		}
+		return []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}, nil
+	}
+	var nodes []int
+	for _, f := range strings.Split(arg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad node count %q", f)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}

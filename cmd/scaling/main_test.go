@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStrongScaling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-matrix", "dlr1", "-scale", "0.01", "-nodes", "1,2", "-iters", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Task mode", "Vector mode", "Fig. 5", "GF/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTimelineAndBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-timeline", "-matrix", "dlr1", "-scale", "0.01", "-timelinenodes", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 4") {
+		t.Error("timeline output missing")
+	}
+	buf.Reset()
+	if err := run([]string{"-breakdown", "-matrix", "dlr1", "-scale", "0.01", "-timelinenodes", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "local spMVM") {
+		t.Error("breakdown output missing")
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-matrix", "dlr1", "-scale", "0.01", "-timelinenodes", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if doc["traceEvents"] == nil {
+		t.Error("no traceEvents")
+	}
+}
+
+func TestRunWeakFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-weak", "-matrix", "dlr1", "-basescale", "0.005", "-nodes", "1,2", "-iters", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Weak scaling") {
+		t.Error("weak output missing")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-format", "weird"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run([]string{"-nodes", "0,2"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad node list accepted")
+	}
+}

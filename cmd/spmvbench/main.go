@@ -1,0 +1,77 @@
+// Command spmvbench reproduces the single-GPU format comparison of the
+// paper: Table I (data reduction and GF/s for ELLPACK-R vs pJDS in
+// SP/DP with ECC on/off, plus the Westmere CRS baseline), the
+// quantified Fig. 2 (storage vs hardware utilization), the §IV outlook
+// format comparison, and the format-side ablations.
+//
+// Usage:
+//
+//	spmvbench -table1 [-scale 0.1]
+//	spmvbench -fig2 -matrix sAMG [-scale 0.1]
+//	spmvbench -outlook [-scale 0.1]
+//	spmvbench -ablations [-matrix sAMG] [-scale 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pjds/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spmvbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spmvbench", flag.ContinueOnError)
+	var (
+		scale     = fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size (UHBR capped by its memory gate)")
+		table1    = fs.Bool("table1", false, "reproduce Table I")
+		fig2      = fs.Bool("fig2", false, "quantify Fig. 2 on -matrix")
+		ablations = fs.Bool("ablations", false, "run the DESIGN.md format/model ablations")
+		outlook   = fs.Bool("outlook", false, "run the §IV outlook format comparison (pJDS vs sliced ELLPACK/ELLR-T/BELLPACK/CSR)")
+		matrixArg = fs.String("matrix", "sAMG", "matrix for -fig2/-ablations: DLR1, DLR2, HMEp, sAMG, UHBR")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*table1 && !*fig2 && !*ablations && !*outlook {
+		*table1 = true
+	}
+	if *table1 {
+		if _, err := experiments.RunTable1(*scale, out); err != nil {
+			return err
+		}
+	}
+	if *fig2 {
+		if _, err := experiments.RunFig2(*matrixArg, *scale, out); err != nil {
+			return err
+		}
+	}
+	if *outlook {
+		if _, err := experiments.RunFormatComparison(*scale, out); err != nil {
+			return err
+		}
+	}
+	if *ablations {
+		for _, f := range []func() error{
+			func() error { _, err := experiments.AblationL2(*matrixArg, *scale, out); return err },
+			func() error { _, err := experiments.AblationSortWindow(*matrixArg, *scale, out); return err },
+			func() error { _, err := experiments.AblationBlockHeight(*matrixArg, *scale, out); return err },
+			func() error { _, err := experiments.AblationELLRT(*matrixArg, *scale, out); return err },
+			func() error { _, err := experiments.AblationRCM("scrambled", *scale, out); return err },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

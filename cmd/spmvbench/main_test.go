@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultIsTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.01"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "data reduction", "ELLPACK-R", "pJDS", "Westmere"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig2AndOutlook(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig2", "-matrix", "sAMG", "-scale", "0.01"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 2") {
+		t.Error("fig2 output missing")
+	}
+	buf.Reset()
+	if err := run([]string{"-outlook", "-scale", "0.005"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"outlook", "CSR-scalar", "BELLPACK", "sliced-ELL"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("outlook output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownMatrix(t *testing.T) {
+	if err := run([]string{"-fig2", "-matrix", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown matrix accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Distributed power iteration: the dominant eigenvalue of a sparse
+// matrix computed across 8 simulated cluster nodes, with a fresh halo
+// exchange every iteration (unlike the fixed-vector spMVM benchmark,
+// the iterate changes each step) and allreduce-based normalization —
+// the communication skeleton of every distributed eigensolver.
+//
+// It uses the library's lower layers directly: distmv.Distribute for
+// the communication pattern, internal/mpi for message passing. The
+// distributed eigenvalue is verified against the serial solver.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pjds/internal/distmv"
+	"pjds/internal/matgen"
+	"pjds/internal/mpi"
+	"pjds/internal/simnet"
+	"pjds/internal/solver"
+)
+
+const (
+	ranks   = 8
+	maxIter = 300
+	tol     = 1e-12
+)
+
+func main() {
+	// A symmetric operator with a well-separated dominant mode: the
+	// 2D Laplacian with one strong "defect" on the diagonal, so power
+	// iteration converges quickly and deterministically.
+	m := matgen.Stencil2D(300, 300)
+	for k := m.RowPtr[0]; k < m.RowPtr[1]; k++ {
+		if m.ColIdx[k] == 0 {
+			m.Val[k] = 50
+		}
+	}
+	n := m.NRows
+	fmt.Printf("operator: %d x %d, %d non-zeros, %d ranks\n", n, n, m.Nnz(), ranks)
+
+	pt, err := distmv.PartitionByNnz(m, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problems, err := distmv.Distribute(m, pt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var distLambda float64
+	var iters int
+	clocks, err := mpi.Run(ranks, simnet.QDRInfiniBand(), func(c *mpi.Comm) error {
+		rp := problems[c.Rank()]
+		nloc := rp.LocalRows()
+		x := make([]float64, nloc)
+		for i := range x {
+			x[i] = 1 + 0.001*float64((rp.RowLo+i)%17)
+		}
+		halo := make([]float64, rp.HaloSize())
+		y := make([]float64, nloc)
+
+		lambda := 0.0
+		for it := 0; it < maxIter; it++ {
+			// Fresh halo exchange for the current iterate.
+			var recvs, all []*mpi.Request
+			for o := 0; o < rp.P; o++ {
+				if _, ok := rp.RecvCount[o]; ok {
+					r := c.Irecv(o, it)
+					recvs = append(recvs, r)
+					all = append(all, r)
+				}
+			}
+			for d := 0; d < rp.P; d++ {
+				idx, ok := rp.SendIdx[d]
+				if !ok {
+					continue
+				}
+				buf := make([]float64, len(idx))
+				for k, i := range idx {
+					buf[k] = x[i]
+				}
+				all = append(all, c.Isend(d, it, buf, int64(8*len(buf))))
+			}
+			c.Waitall(all)
+			for _, r := range recvs {
+				vals := r.Message.Payload.([]float64)
+				copy(halo[rp.HaloOffset[r.Message.Src]:], vals)
+			}
+
+			// y = A_loc·x + A_nl·halo (host kernels; the GPU timing
+			// side of this pipeline is what cmd/scaling measures).
+			if err := rp.Local.MulVec(y, x); err != nil {
+				return err
+			}
+			if err := rp.NonLocal.MulVecAdd(y, halo); err != nil {
+				return err
+			}
+
+			// Rayleigh quotient and normalization via allreduce.
+			var xy, yy float64
+			for i := range y {
+				xy += x[i] * y[i]
+				yy += y[i] * y[i]
+			}
+			next := c.AllreduceSum(xy)
+			norm := math.Sqrt(c.AllreduceSum(yy))
+			for i := range y {
+				x[i] = y[i] / norm
+			}
+			if it > 0 && math.Abs(next-lambda) <= tol*math.Abs(next) {
+				lambda = next
+				iters = it + 1
+				break
+			}
+			lambda = next
+			iters = it + 1
+		}
+		if c.Rank() == 0 {
+			distLambda = lambda
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serial reference.
+	ref, err := solver.PowerIteration(solver.CSROperator{M: m}, nil, tol, 10*maxIter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed: lambda_max = %.9f after %d iterations\n", distLambda, iters)
+	fmt.Printf("serial:      lambda_max = %.9f after %d iterations\n", ref.Eigenvalue, ref.Iterations)
+	fmt.Printf("difference: %.2e\n", math.Abs(distLambda-ref.Eigenvalue))
+	fmt.Printf("simulated cluster wallclock: %.3f ms (%d ranks)\n", 1e3*clocks[0], ranks)
+	if math.Abs(distLambda-ref.Eigenvalue) > 1e-6 {
+		log.Fatal("distributed and serial eigenvalues disagree")
+	}
+}

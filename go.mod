@@ -1,0 +1,3 @@
+module pjds
+
+go 1.22

@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+func benchSetup(b *testing.B) (*PJDS[float64], []float64, []float64) {
+	b.Helper()
+	m := randomCSR(3000, 3000, 0.01, 1)
+	p, err := NewPJDS(m, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	return p, make([]float64, p.NPad), x
+}
+
+// BenchmarkNewPJDS measures the one-off conversion cost (sort + pad +
+// column assembly), which iterative solvers amortize over the run.
+func BenchmarkNewPJDS(b *testing.B) {
+	m := randomCSR(3000, 3000, 0.01, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPJDS(m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPJDSMulVecPermuted is the hot loop of Listing 2 on the
+// host (functional kernel, no device timing).
+func BenchmarkPJDSMulVecPermuted(b *testing.B) {
+	p, yp, x := benchSetup(b)
+	b.SetBytes(int64(p.Nnz) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.MulVecPermuted(yp, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPJDSMulVec includes the scatter back to the original basis
+// (what naive per-call use costs vs staying permuted, §II-A).
+func BenchmarkPJDSMulVec(b *testing.B) {
+	p, _, x := benchSetup(b)
+	y := make([]float64, p.N)
+	b.SetBytes(int64(p.Nnz) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.MulVec(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

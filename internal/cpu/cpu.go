@@ -1,0 +1,192 @@
+// Package cpu provides the multicore CPU baseline of Table I's last
+// row: CRS spMVM on a dual-socket Intel Westmere EP node (12 cores),
+// as measured by Schubert et al. [4]. Like the GPU simulator, it
+// separates function from timing: MulVecParallel computes the real
+// result with worker goroutines, while EstimateCRS derives wallclock
+// from a bandwidth model with a cache-measured RHS reuse factor.
+package cpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pjds/internal/matrix"
+)
+
+// Node describes a multicore CPU node.
+type Node struct {
+	Name string
+	// Cores is the total core count across sockets.
+	Cores int
+	// BandwidthBytes is the sustained aggregate memory bandwidth.
+	BandwidthBytes float64
+	// LLCBytes is the aggregate last-level cache capacity, which
+	// determines RHS reuse for large vectors.
+	LLCBytes int
+	// CacheLineBytes is the transfer granularity (64 B).
+	CacheLineBytes int
+}
+
+// WestmereEP returns the dual-socket 12-core Westmere node of [4]:
+// ≈ 40 GB/s sustained aggregate bandwidth, 2 × 12 MB L3.
+func WestmereEP() *Node {
+	return &Node{
+		Name:           "Westmere EP (2x6 cores)",
+		Cores:          12,
+		BandwidthBytes: 40e9,
+		LLCBytes:       24 << 20,
+		CacheLineBytes: 64,
+	}
+}
+
+// Validate reports configuration errors.
+func (n *Node) Validate() error {
+	if n.Cores <= 0 || n.BandwidthBytes <= 0 || n.LLCBytes <= 0 || n.CacheLineBytes <= 0 {
+		return fmt.Errorf("cpu: invalid node %+v", *n)
+	}
+	return nil
+}
+
+// Stats reports the modelled cost of one CRS spMVM on the node.
+type Stats struct {
+	Node        string
+	Nnz         int64
+	BytesTotal  int64
+	Alpha       float64 // measured RHS traffic per non-zero, in value widths
+	CodeBalance float64 // bytes per flop
+	Seconds     float64
+	GFlops      float64
+}
+
+// EstimateCRS models one double-precision CRS spMVM: streaming val
+// (8 B) + colidx (4 B) per non-zero, rowptr (8 B) and result
+// write-allocate+write (16 B) per row, plus the RHS gather traffic
+// measured by a simulated LLC with 64-byte lines.
+func (n *Node) EstimateCRS(m *matrix.CSR[float64]) (Stats, error) {
+	if err := n.Validate(); err != nil {
+		return Stats{}, err
+	}
+	lines := n.LLCBytes / n.CacheLineBytes
+	c := newDirectLRU(lines, n.CacheLineBytes)
+	var rhsBytes int64
+	for k := range m.ColIdx {
+		if !c.probe(int64(m.ColIdx[k]) * 8) {
+			rhsBytes += int64(n.CacheLineBytes)
+		}
+	}
+	nnz := int64(m.Nnz())
+	bytes := nnz*12 + int64(m.NRows)*24 + rhsBytes
+	s := Stats{
+		Node:       n.Name,
+		Nnz:        nnz,
+		BytesTotal: bytes,
+		Seconds:    float64(bytes) / n.BandwidthBytes,
+	}
+	if nnz > 0 {
+		s.Alpha = float64(rhsBytes) / float64(8*nnz)
+		s.CodeBalance = float64(bytes) / float64(2*nnz)
+	}
+	if s.Seconds > 0 {
+		s.GFlops = 2 * float64(nnz) / s.Seconds / 1e9
+	}
+	return s, nil
+}
+
+// MulVecParallel computes y = A·x with one worker per core (capped at
+// GOMAXPROCS), splitting rows into contiguous chunks balanced by
+// non-zero count.
+func (n *Node) MulVecParallel(m *matrix.CSR[float64], y, x []float64) error {
+	if len(x) != m.NCols || len(y) != m.NRows {
+		return fmt.Errorf("cpu: MulVecParallel |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), m.NRows, m.NCols, matrix.ErrShape)
+	}
+	workers := n.Cores
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := nnzBalancedChunks(m, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < len(bounds)-1; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					sum += m.Val[k] * x[m.ColIdx[k]]
+				}
+				y[i] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// nnzBalancedChunks returns workers+1 row boundaries splitting the
+// matrix into chunks of roughly equal non-zero count.
+func nnzBalancedChunks(m *matrix.CSR[float64], workers int) []int {
+	bounds := make([]int, workers+1)
+	total := m.Nnz()
+	row := 0
+	for w := 1; w < workers; w++ {
+		target := total * w / workers
+		for row < m.NRows && m.RowPtr[row] < target {
+			row++
+		}
+		bounds[w] = row
+	}
+	bounds[workers] = m.NRows
+	return bounds
+}
+
+// directLRU is a minimal set-associative LRU cache for the RHS reuse
+// measurement (4-way is close enough to a real LLC for this purpose).
+type directLRU struct {
+	sets     [][]int64
+	lineBits uint
+	nSets    int64
+}
+
+func newDirectLRU(lines, lineBytes int) *directLRU {
+	const assoc = 4
+	nSets := lines / assoc
+	if nSets < 1 {
+		nSets = 1
+	}
+	lb := uint(0)
+	for 1<<lb < lineBytes {
+		lb++
+	}
+	c := &directLRU{sets: make([][]int64, nSets), lineBits: lb, nSets: int64(nSets)}
+	for i := range c.sets {
+		c.sets[i] = make([]int64, 0, assoc)
+	}
+	return c
+}
+
+func (c *directLRU) probe(addr int64) bool {
+	line := addr >> c.lineBits
+	set := c.sets[line%c.nSets]
+	for i, tag := range set {
+		if tag == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	if len(set) < cap(set) {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[line%c.nSets] = set
+	return false
+}

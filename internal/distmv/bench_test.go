@@ -1,0 +1,38 @@
+package distmv
+
+import (
+	"testing"
+
+	"pjds/internal/matgen"
+)
+
+// BenchmarkRunSpMVMByMode measures the full simulated multi-GPU
+// pipeline per communication scheme (setup + profile + timed loop).
+func BenchmarkRunSpMVMByMode(b *testing.B) {
+	m := matgen.Banded(8000, 8, 24, 400, 1)
+	x := testVec(m.NCols)
+	for _, mode := range Modes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunSpMVM(m, x, 8, mode, Config{Iterations: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistribute measures the setup phase alone.
+func BenchmarkDistribute(b *testing.B) {
+	m := matgen.Banded(8000, 8, 24, 400, 1)
+	pt, err := PartitionByNnz(m, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distribute(m, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

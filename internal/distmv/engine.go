@@ -1,0 +1,322 @@
+package distmv
+
+import (
+	"fmt"
+	"math"
+
+	"pjds/internal/matrix"
+	"pjds/internal/mpi"
+)
+
+// RunSpMVM executes y = A·x on p simulated GPU nodes under the given
+// communication mode: the matrix is partitioned by non-zeros, each
+// rank profiles its kernels on the device simulator once, and the
+// timed loop then repeats the per-iteration choreography cfg.Iterations
+// times with real halo payloads flowing between the rank goroutines.
+// The assembled Y is bit-decomposable against the serial reference
+// (same split of every row sum into local + non-local partial sums).
+func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(x) != a.NCols {
+		return nil, fmt.Errorf("distmv: |x| = %d on %dx%d matrix: %w", len(x), a.NRows, a.NCols, matrix.ErrShape)
+	}
+	partitioner := cfg.Partitioner
+	if partitioner == nil {
+		partitioner = PartitionByNnz
+	}
+	pt, err := partitioner(a, p)
+	if err != nil {
+		return nil, err
+	}
+	if pt.Ranks() != p {
+		return nil, fmt.Errorf("distmv: partitioner produced %d blocks for %d ranks", pt.Ranks(), p)
+	}
+	problems, err := Distribute(a, pt)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.SkipFitCheck {
+		if _, err := CheckFit(problems, cfg.Device, cfg.Format); err != nil {
+			return nil, fmt.Errorf("P=%d: %w", p, err)
+		}
+	}
+
+	res := &Result{
+		Mode: mode, Format: cfg.Format, P: p, Iterations: cfg.Iterations,
+		GlobalNnz: int64(a.Nnz()),
+		Y:         make([]float64, a.NRows),
+		Ranks:     make([]RankReport, p),
+	}
+	var totalSeconds float64 // written by rank 0
+
+	ranksPerNode := cfg.GPUsPerNode
+	if ranksPerNode < 1 {
+		ranksPerNode = 1
+	}
+	_, err = mpi.RunWithTopology(p, cfg.Fabric, ranksPerNode, cfg.IntraNodeFabric, func(c *mpi.Comm) error {
+		rp := problems[c.Rank()]
+		nloc := rp.LocalRows()
+
+		// Untimed setup: extended RHS from the replicated input.
+		xExt := make([]float64, nloc+rp.HaloSize())
+		copy(xExt, x[rp.RowLo:rp.RowHi])
+		for s, col := range rp.HaloCols {
+			xExt[nloc+s] = x[col]
+		}
+		prof, err := rp.Profile(cfg.Device, cfg.Format, xExt)
+		if err != nil {
+			return err
+		}
+
+		it := &iterState{c: c, rp: rp, prof: prof, cfg: cfg, x: xExt[:nloc], want: xExt[nloc:]}
+
+		c.Barrier()
+		start := c.Clock()
+		for n := 0; n < cfg.Iterations; n++ {
+			recordEvents := c.Rank() == 0 && n == 0
+			var events []Event
+			switch mode {
+			case VectorMode:
+				events, err = it.vectorMode(n, recordEvents)
+			case NaiveOverlap:
+				events, err = it.naiveOverlap(n, recordEvents)
+			case TaskMode:
+				events, err = it.taskMode(n, recordEvents)
+			default:
+				err = fmt.Errorf("distmv: unknown mode %d", mode)
+			}
+			if err != nil {
+				return err
+			}
+			if recordEvents {
+				res.Timeline = events
+			}
+		}
+		end := c.AllreduceMax(c.Clock())
+		if c.Rank() == 0 {
+			totalSeconds = end - start
+		}
+
+		// Publish per-rank outputs (disjoint slices, synchronized by
+		// the run's completion).
+		copy(res.Y[rp.RowLo:rp.RowHi], prof.Y)
+		res.Ranks[c.Rank()] = RankReport{
+			Rank:      c.Rank(),
+			LocalRows: nloc,
+			HaloElems: rp.HaloSize(),
+			SendElems: rp.SendElems(),
+			Neighbors: rp.Neighbors(),
+			Local:     prof.Local,
+			NonLocal:  prof.NonLocal,
+			Merged:    prof.Merged,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Seconds = totalSeconds
+	res.PerIterSeconds = totalSeconds / float64(cfg.Iterations)
+	if totalSeconds > 0 {
+		res.GFlops = 2 * float64(res.GlobalNnz) * float64(cfg.Iterations) / totalSeconds / 1e9
+	}
+	return res, nil
+}
+
+// iterState carries one rank's loop-invariant data through the
+// per-iteration choreographies.
+type iterState struct {
+	c    *mpi.Comm
+	rp   *RankProblem
+	prof *RankProfile
+	cfg  Config
+	x    []float64 // this rank's local x values
+	want []float64 // expected halo values, for verification
+}
+
+// gatherSeconds models the "local gather" of Fig. 4: packing the
+// outgoing x elements into contiguous send buffers on the host.
+func (s *iterState) gatherSeconds() float64 {
+	return float64(8*s.rp.SendElems()) / s.cfg.HostGatherBW
+}
+
+// postExchange posts all receives and sends for iteration n and
+// returns the requests (receives first). Payloads are freshly gathered
+// x values — the real data of the distributed multiplication.
+func (s *iterState) postExchange(n int) ([]*mpi.Request, []*mpi.Request) {
+	var recvs, sends []*mpi.Request
+	for o := 0; o < s.rp.P; o++ {
+		if _, ok := s.rp.RecvCount[o]; ok {
+			recvs = append(recvs, s.c.Irecv(o, n))
+		}
+	}
+	for d := 0; d < s.rp.P; d++ {
+		idx, ok := s.rp.SendIdx[d]
+		if !ok {
+			continue
+		}
+		buf := make([]float64, len(idx))
+		for k, i := range idx {
+			buf[k] = s.x[i]
+		}
+		sends = append(sends, s.c.Isend(d, n, buf, int64(8*len(buf))))
+	}
+	return recvs, sends
+}
+
+// absorbHalo verifies the received payloads against the expected halo
+// values.
+func (s *iterState) absorbHalo(recvs []*mpi.Request) error {
+	for _, r := range recvs {
+		m := r.Message
+		vals, ok := m.Payload.([]float64)
+		if !ok {
+			return fmt.Errorf("distmv: rank %d got %T from %d", s.c.Rank(), m.Payload, m.Src)
+		}
+		off, ok := s.rp.HaloOffset[m.Src]
+		if !ok {
+			return fmt.Errorf("distmv: rank %d: unexpected sender %d", s.c.Rank(), m.Src)
+		}
+		for k, v := range vals {
+			if s.want[off+k] != v {
+				return fmt.Errorf("distmv: rank %d: halo value %d from %d is %g, want %g",
+					s.c.Rank(), off+k, m.Src, v, s.want[off+k])
+			}
+		}
+	}
+	return nil
+}
+
+// span runs f and returns a named event covering its virtual duration.
+func span(c *mpi.Comm, lane, name string, f func()) Event {
+	e := Event{Lane: lane, Name: name, Start: c.Clock()}
+	f()
+	e.End = c.Clock()
+	return e
+}
+
+// vectorMode: gather → exchange → upload full RHS → single-step
+// kernel → download. Everything serialized (§III-A, first bullet).
+func (s *iterState) vectorMode(n int, record bool) ([]Event, error) {
+	c, link := s.c, s.cfg.Link
+	var ev []Event
+	add := func(e Event) {
+		if record {
+			ev = append(ev, e)
+		}
+	}
+	add(span(c, "host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
+	var recvs, sends []*mpi.Request
+	add(span(c, "host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
+	var err error
+	add(span(c, "host", "MPI_Waitall", func() {
+		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
+		err = s.absorbHalo(recvs)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	nloc := s.rp.LocalRows()
+	add(span(c, "gpu", "upload RHS", func() {
+		c.Advance(link.TransferSeconds(int64(8 * (nloc + s.rp.HaloSize()))))
+	}))
+	add(span(c, "gpu", "spMVM", func() { c.Advance(s.prof.Merged.KernelSeconds) }))
+	add(span(c, "gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	return ev, nil
+}
+
+// naiveOverlap: nonblocking MPI posted around the local kernel
+// (§III-A, second bullet). Whether any overlap actually happens is
+// decided by Fabric.AsyncProgress.
+func (s *iterState) naiveOverlap(n int, record bool) ([]Event, error) {
+	c, link := s.c, s.cfg.Link
+	var ev []Event
+	add := func(e Event) {
+		if record {
+			ev = append(ev, e)
+		}
+	}
+	add(span(c, "host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
+	var recvs, sends []*mpi.Request
+	add(span(c, "host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
+	nloc := s.rp.LocalRows()
+	add(span(c, "gpu", "upload RHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	add(span(c, "gpu", "local spMVM", func() { c.Advance(s.prof.Local.KernelSeconds) }))
+	var err error
+	add(span(c, "host", "MPI_Waitall", func() {
+		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
+		err = s.absorbHalo(recvs)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	add(span(c, "gpu", "upload halo", func() { c.Advance(link.TransferSeconds(int64(8 * s.rp.HaloSize()))) }))
+	add(span(c, "gpu", "non-local spMVM", func() { c.Advance(s.prof.NonLocal.KernelSeconds) }))
+	add(span(c, "gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	return ev, nil
+}
+
+// taskMode: thread 0 drives MPI while the GPU computes the local part
+// (Fig. 4); the two timelines join before the non-local part.
+func (s *iterState) taskMode(n int, record bool) ([]Event, error) {
+	c, link := s.c, s.cfg.Link
+	var ev []Event
+	add := func(e Event) {
+		if record {
+			ev = append(ev, e)
+		}
+	}
+	t0 := c.Clock()
+
+	// Communication thread: gather, post, and immediately drive the
+	// transfers to completion (this is what the dedicated thread is
+	// for — reliably asynchronous communication).
+	add(span(c, "host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
+	var recvs, sends []*mpi.Request
+	add(span(c, "host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
+	var err error
+	add(span(c, "host", "MPI_Waitall", func() {
+		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
+		err = s.absorbHalo(recvs)
+	}))
+	if err != nil {
+		return nil, err
+	}
+
+	// GPU thread, concurrent from t0: upload local RHS, local kernel.
+	nloc := s.rp.LocalRows()
+	up := link.TransferSeconds(int64(8 * nloc))
+	gpuDone := t0 + up + s.prof.Local.KernelSeconds
+	if record {
+		ev = append(ev,
+			Event{Lane: "gpu", Name: "upload RHS", Start: t0, End: t0 + up},
+			Event{Lane: "gpu", Name: "local spMVM", Start: t0 + up, End: gpuDone},
+		)
+	}
+	// Join: the non-local part needs both the halo and the GPU.
+	if gpuDone > c.Clock() {
+		c.SetClock(gpuDone)
+	}
+	add(span(c, "gpu", "upload halo", func() { c.Advance(link.TransferSeconds(int64(8 * s.rp.HaloSize()))) }))
+	add(span(c, "gpu", "non-local spMVM", func() { c.Advance(s.prof.NonLocal.KernelSeconds) }))
+	add(span(c, "gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	return ev, nil
+}
+
+// VerifyAgainstSerial compares a distributed result with the serial
+// CRS reference, returning the maximum relative error.
+func VerifyAgainstSerial(a *matrix.CSR[float64], x, y []float64) (float64, error) {
+	ref := make([]float64, a.NRows)
+	if err := a.MulVec(ref, x); err != nil {
+		return 0, err
+	}
+	maxRel := 0.0
+	for i := range ref {
+		d := math.Abs(y[i] - ref[i])
+		scale := 1 + math.Abs(ref[i])
+		if rel := d / scale; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel, nil
+}

@@ -1,0 +1,127 @@
+package distsolver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pjds/internal/distmv"
+	"pjds/internal/mpi"
+)
+
+// ErrNotConverged mirrors the serial solver package's sentinel.
+var ErrNotConverged = errors.New("distsolver: not converged")
+
+// CGResult reports a distributed conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64
+}
+
+// CG solves A·x = b for SPD A across all ranks: x and b hold this
+// rank's rows, the operator exchanges halos internally, and the
+// reductions synchronize the virtual clocks. x is updated in place;
+// every rank returns the same result metadata.
+func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIter int) (CGResult, error) {
+	op := NewOperator(rp, c)
+	n := op.Dim()
+	if len(x) != n || len(b) != n {
+		return CGResult{}, fmt.Errorf("distsolver: CG |x|=%d |b|=%d, own %d rows", len(x), len(b), n)
+	}
+	r := make([]float64, n)
+	if err := op.Apply(r, x); err != nil {
+		return CGResult{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	p := append([]float64(nil), r...)
+	ap := make([]float64, n)
+	rr := Dot(c, r, r)
+	bnorm := Norm2(c, b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	res := CGResult{}
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(rr) <= tol*bnorm {
+			res.Residual = math.Sqrt(rr)
+			return res, nil
+		}
+		if err := op.Apply(ap, p); err != nil {
+			return res, err
+		}
+		pap := Dot(c, p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("distsolver: operator not positive definite (pᵀAp = %g)", pap)
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := Dot(c, r, r)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+		res.Iterations++
+	}
+	res.Residual = math.Sqrt(rr)
+	if res.Residual > tol*bnorm {
+		return res, fmt.Errorf("%w: residual %g after %d iterations", ErrNotConverged, res.Residual, maxIter)
+	}
+	return res, nil
+}
+
+// PowerResult reports a distributed power iteration.
+type PowerResult struct {
+	Eigenvalue float64
+	Iterations int
+	// Vector is this rank's slice of the normalized eigenvector.
+	Vector []float64
+}
+
+// PowerIteration finds the dominant eigenvalue of the distributed
+// operator; v0 (optional) is this rank's slice of the start vector.
+func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float64, maxIter int) (PowerResult, error) {
+	op := NewOperator(rp, c)
+	n := op.Dim()
+	v := make([]float64, n)
+	if v0 != nil {
+		if len(v0) != n {
+			return PowerResult{}, fmt.Errorf("distsolver: |v0|=%d, own %d rows", len(v0), n)
+		}
+		copy(v, v0)
+	} else {
+		for i := range v {
+			v[i] = 1 + 0.001*float64((rp.RowLo+i)%17)
+		}
+	}
+	norm := Norm2(c, v)
+	for i := range v {
+		v[i] /= norm
+	}
+	av := make([]float64, n)
+	lambda := 0.0
+	for k := 0; k < maxIter; k++ {
+		if err := op.Apply(av, v); err != nil {
+			return PowerResult{}, err
+		}
+		next := Dot(c, v, av)
+		nv := Norm2(c, av)
+		if nv == 0 {
+			return PowerResult{}, fmt.Errorf("distsolver: hit the null space")
+		}
+		for i := range v {
+			v[i] = av[i] / nv
+		}
+		if k > 0 && math.Abs(next-lambda) <= tol*math.Abs(next) {
+			return PowerResult{Eigenvalue: next, Iterations: k + 1, Vector: v}, nil
+		}
+		lambda = next
+	}
+	return PowerResult{Eigenvalue: lambda, Iterations: maxIter, Vector: v},
+		fmt.Errorf("%w: power iteration after %d steps", ErrNotConverged, maxIter)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pjds/internal/distmv"
+)
+
+// CheckResult is one verdict of the reproduction certificate.
+type CheckResult struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// CheckReproduction re-runs the paper's experiments at the given scale
+// and grades every DESIGN.md shape target, returning one verdict per
+// claim. It is the machine-checkable "reproduction certificate" behind
+// cmd/papercheck; EXPERIMENTS.md is its prose rendering.
+//
+// Tolerances are scale-aware: tiny instances legitimately drift
+// (vectors fit the L2, quantile boundaries move), so sub-0.05 scales
+// get looser bands.
+func CheckReproduction(scale float64, w io.Writer) ([]CheckResult, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	var out []CheckResult
+	check := func(name string, pass bool, format string, args ...any) {
+		r := CheckResult{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+		out = append(out, r)
+		status := "PASS"
+		if !pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "[%s] %-46s %s\n", status, name, r.Detail)
+	}
+	loose := scale < 0.05
+	ratioLo := 0.91
+	if loose {
+		ratioLo = 0.78
+	}
+
+	// --- Table I ---
+	fmt.Fprintf(w, "== Table I (scale %g) ==\n", scale)
+	t1, err := RunTable1(scale, io.Discard)
+	if err != nil {
+		return out, err
+	}
+	for _, r := range t1.Rows {
+		if !math.IsNaN(r.PaperReductionPct) {
+			tol := 6.0
+			if loose {
+				tol = 8
+			}
+			check("data reduction "+r.Matrix,
+				math.Abs(r.DataReductionPct-r.PaperReductionPct) <= tol,
+				"measured %.1f%%, paper %.1f%%", r.DataReductionPct, r.PaperReductionPct)
+		}
+		ratio := r.DP.ECCOn.PJDS.GFlops / r.DP.ECCOn.ELLPACKR.GFlops
+		check("pJDS/ELLPACK-R band "+r.Matrix,
+			ratio >= ratioLo && ratio <= 1.45,
+			"DP ECC ratio %.2f (paper band 0.91–1.30)", ratio)
+		best := math.Max(r.DP.ECCOn.ELLPACKR.GFlops, r.DP.ECCOn.PJDS.GFlops)
+		check("GPU beats Westmere (DP) "+r.Matrix,
+			best > r.Westmere.GFlops,
+			"GPU %.1f vs CPU %.1f GF/s", best, r.Westmere.GFlops)
+		overheadTol := 0.01
+		if loose {
+			overheadTol = 0.5
+		}
+		check("pJDS overhead "+r.Matrix,
+			r.PJDSOverheadPct <= overheadTol,
+			"%.4f%% vs minimal storage (paper <0.01%%)", r.PJDSOverheadPct)
+		eccRatio := r.DP.ECCOff.PJDS.GFlops / r.DP.ECCOn.PJDS.GFlops
+		check("ECC derating "+r.Matrix,
+			eccRatio > 1.05 && eccRatio < 1.5,
+			"ECC-off/on %.2f (bandwidth ratio 1.32)", eccRatio)
+	}
+	// DLR2 memory argument.
+	for _, r := range t1.Rows {
+		if r.Matrix == "DLR2" {
+			check("DLR2 fits C2050 only as pJDS",
+				!r.FitsC2050ELLPACKR && r.FitsC2050PJDS,
+				"ELLPACK-R fits=%v, pJDS fits=%v", r.FitsC2050ELLPACKR, r.FitsC2050PJDS)
+		}
+	}
+
+	// --- §II-B model ---
+	fmt.Fprintf(w, "== §II-B model ==\n")
+	s2b, err := RunSec2B(scale, io.Discard)
+	if err != nil {
+		return out, err
+	}
+	check("Eq. 3 worst case ≈ 25",
+		math.Abs(s2b.MaxNnzr50WorstCase-25) < 1.5, "%.1f", s2b.MaxNnzr50WorstCase)
+	check("Eq. 4 worst case ≈ 266",
+		math.Abs(s2b.MinNnzr10WorstCase-266) < 3, "%.1f", s2b.MinNnzr10WorstCase)
+	pen := map[string]EffectivePerf{}
+	for _, e := range s2b.Effective {
+		pen[e.Matrix] = e
+	}
+	westmere := map[string]float64{}
+	for _, r := range t1.Rows {
+		westmere[r.Matrix] = r.Westmere.GFlops
+	}
+	check("HMEp below CPU with PCIe",
+		pen["HMEp"].WithPCIGFlops < westmere["HMEp"],
+		"%.1f GF/s vs CPU %.1f", pen["HMEp"].WithPCIGFlops, westmere["HMEp"])
+	check("sAMG below CPU with PCIe",
+		pen["sAMG"].WithPCIGFlops < westmere["sAMG"],
+		"%.1f GF/s vs CPU %.1f", pen["sAMG"].WithPCIGFlops, westmere["sAMG"])
+	check("DLR1 above CPU with PCIe",
+		pen["DLR1"].WithPCIGFlops > westmere["DLR1"],
+		"%.1f GF/s vs CPU %.1f", pen["DLR1"].WithPCIGFlops, westmere["DLR1"])
+
+	// --- Fig. 5 shape ---
+	fmt.Fprintf(w, "== Fig. 5 shape ==\n")
+	nodes := []int{1, 4, 16, 32}
+	if loose {
+		nodes = []int{1, 2, 4}
+	}
+	points, err := RunFig5(Fig5Config{
+		Matrix: "DLR1", Scale: scale, Nodes: nodes, Iterations: 2,
+	}, io.Discard)
+	if err != nil {
+		return out, err
+	}
+	perf := map[int]map[distmv.Mode]float64{}
+	for _, p := range points {
+		if perf[p.Nodes] == nil {
+			perf[p.Nodes] = map[distmv.Mode]float64{}
+		}
+		perf[p.Nodes][p.Mode] = p.GFlops
+	}
+	taskBest := true
+	naiveNoWin := true
+	for _, p := range nodes[1:] {
+		if perf[p][distmv.TaskMode] < perf[p][distmv.VectorMode] ||
+			perf[p][distmv.TaskMode] < perf[p][distmv.NaiveOverlap] {
+			taskBest = false
+		}
+		if perf[p][distmv.NaiveOverlap] > perf[p][distmv.VectorMode]*1.02 {
+			naiveNoWin = false
+		}
+	}
+	if loose {
+		// At tiny scales communication is negligible and vector mode's
+		// single merged kernel legitimately wins; the §III-B claim is
+		// then only that the dedicated thread beats naive overlap.
+		taskGeNaive := true
+		for _, p := range nodes[1:] {
+			if perf[p][distmv.TaskMode] < perf[p][distmv.NaiveOverlap] {
+				taskGeNaive = false
+			}
+		}
+		check("task mode beats naive overlap at every P>1", taskGeNaive, "%v", perf)
+	} else {
+		check("task mode fastest at every P>1", taskBest, "%v", perf)
+	}
+	check("naive overlap never beats vector mode", naiveNoWin,
+		"no asynchronous MPI progress (§III-A)")
+	last := nodes[len(nodes)-1]
+	speedup := perf[last][distmv.TaskMode] / perf[nodes[0]][distmv.TaskMode]
+	check("strong scaling sublinear but real",
+		speedup > 1 && speedup < float64(last),
+		"task-mode speedup %.1fx on %dx nodes", speedup, last)
+	return out, nil
+}
+
+// CountFailures returns the number of failed checks.
+func CountFailures(results []CheckResult) int {
+	n := 0
+	for _, r := range results {
+		if !r.Pass {
+			n++
+		}
+	}
+	return n
+}

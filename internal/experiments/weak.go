@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pjds/internal/distmv"
+	"pjds/internal/matgen"
+	"pjds/internal/textplot"
+)
+
+// Weak scaling is the "more extensive scaling studies" of the paper's
+// outlook: instead of splitting a fixed matrix ever finer (Fig. 5's
+// strong scaling), the per-GPU problem size is held constant and the
+// matrix grows with the node count, so efficiency loss isolates the
+// communication and synchronization overheads.
+
+// WeakPoint is one (node count, mode) weak-scaling measurement.
+type WeakPoint struct {
+	Nodes          int
+	Mode           distmv.Mode
+	GlobalNnz      int64
+	GFlops         float64
+	PerIterSeconds float64
+	// Efficiency is GFlops/(Nodes × single-node GFlops of the same
+	// per-GPU problem).
+	Efficiency float64
+}
+
+// WeakConfig parameterizes the weak-scaling experiment.
+type WeakConfig struct {
+	Matrix string
+	// BaseScale is the per-node matrix scale: at P nodes the matrix is
+	// generated at min(1, BaseScale·P) of its published size (capped,
+	// so choose BaseScale·maxNodes ≤ 1 for a clean study).
+	BaseScale  float64
+	Nodes      []int
+	Iterations int
+	Format     distmv.FormatKind
+}
+
+// RunWeakScaling grows the matrix with the node count and reports
+// parallel efficiency per communication mode.
+func RunWeakScaling(cfg WeakConfig, w io.Writer) ([]WeakPoint, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	if cfg.BaseScale <= 0 {
+		cfg.BaseScale = 0.02
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2
+	}
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = []int{1, 2, 4, 8, 16, 32}
+	}
+	tm, err := matgen.ByName(cfg.Matrix)
+	if err != nil {
+		return nil, err
+	}
+
+	baseline := map[distmv.Mode]float64{}
+	var points []WeakPoint
+	series := map[distmv.Mode]*textplot.Series{}
+	for _, mode := range distmv.Modes() {
+		series[mode] = &textplot.Series{Name: mode.String()}
+	}
+	for _, p := range cfg.Nodes {
+		scale := cfg.BaseScale * float64(p)
+		if scale > 1 {
+			scale = 1
+		}
+		m := tm.Generate(scale, Seed)
+		x := testVector(m.NCols)
+		for _, mode := range distmv.Modes() {
+			res, err := distmv.RunSpMVM(m, x, p, mode, distmv.Config{
+				Iterations: cfg.Iterations,
+				Format:     cfg.Format,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: weak %s P=%d %v: %w", cfg.Matrix, p, mode, err)
+			}
+			rel, err := distmv.VerifyAgainstSerial(m, x, res.Y)
+			if err != nil {
+				return nil, err
+			}
+			if rel > 1e-9 {
+				return nil, fmt.Errorf("experiments: weak %s P=%d %v: error %g", cfg.Matrix, p, mode, rel)
+			}
+			pt := WeakPoint{
+				Nodes:          p,
+				Mode:           mode,
+				GlobalNnz:      res.GlobalNnz,
+				GFlops:         res.GFlops,
+				PerIterSeconds: res.PerIterSeconds,
+			}
+			if p == cfg.Nodes[0] {
+				baseline[mode] = res.GFlops / float64(p)
+			}
+			if b := baseline[mode]; b > 0 {
+				pt.Efficiency = res.GFlops / (float64(p) * b)
+			}
+			points = append(points, pt)
+			s := series[mode]
+			s.X = append(s.X, float64(p))
+			s.Y = append(s.Y, 100*pt.Efficiency)
+			fmt.Fprintf(w, "%-8s P=%-3d %-24s %7.2f GF/s  eff %5.1f%%  (nnz %d)\n",
+				cfg.Matrix, p, mode, res.GFlops, 100*pt.Efficiency, res.GlobalNnz)
+		}
+	}
+	var list []textplot.Series
+	for _, mode := range distmv.Modes() {
+		list = append(list, *series[mode])
+	}
+	return points, textplot.Plot(w,
+		fmt.Sprintf("Weak scaling — %s (%s, base scale %g, efficiency %% vs nodes)",
+			cfg.Matrix, cfg.Format, cfg.BaseScale), 64, 16, list)
+}

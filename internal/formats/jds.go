@@ -1,0 +1,21 @@
+package formats
+
+import (
+	"pjds/internal/core"
+	"pjds/internal/matrix"
+)
+
+// NewJDS builds the classic (unpadded) Jagged Diagonals Storage used
+// on vector computers, which the paper derives pJDS from. It is the
+// br = 1 degenerate case of pJDS: global sort, no per-block padding,
+// zero storage overhead.
+func NewJDS[T matrix.Float](m *matrix.CSR[T]) (*core.PJDS[T], error) {
+	return core.NewPJDS(m, core.Options{BlockHeight: 1})
+}
+
+// NewPJDS builds the paper's pJDS format with the default block
+// height (the warp size); re-exported here so format shoot-outs can
+// construct every format through one package.
+func NewPJDS[T matrix.Float](m *matrix.CSR[T]) (*core.PJDS[T], error) {
+	return core.NewPJDS(m, core.Options{BlockHeight: core.DefaultBlockHeight})
+}

@@ -1,0 +1,135 @@
+package gpu
+
+import "fmt"
+
+// CacheConfig describes the simulated on-chip L2 cache.
+type CacheConfig struct {
+	// Bytes is the total capacity (768 kB on GF100).
+	Bytes int
+	// LineBytes is the cache-line size (128 B, equal to the coalescing
+	// segment).
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// RHSFraction is the fraction of the capacity effectively
+	// available for right-hand-side vector reuse. The matrix value and
+	// index streams also pass through the real L2 and continuously
+	// evict RHS lines; rather than simulating the full streaming
+	// pollution (which never produces reuse — every val/col_idx line
+	// is touched exactly once), the model shrinks the RHS-visible
+	// capacity. 1.0 disables the pollution model; see the
+	// DESIGN.md "L2" ablation.
+	RHSFraction float64
+}
+
+// DefaultL2 returns the GF100 L2 configuration: 768 kB, 128-byte
+// lines, 16-way, with half the capacity effectively usable for RHS
+// reuse under streaming pollution.
+func DefaultL2() *CacheConfig {
+	return &CacheConfig{Bytes: 768 << 10, LineBytes: 128, Assoc: 16, RHSFraction: 0.5}
+}
+
+// cache is a set-associative LRU cache over line-granular addresses.
+// It tracks hits and misses; the spMVM model probes it with RHS
+// gather segments.
+type cache struct {
+	sets     [][]int64 // per set: line tags in LRU order (front = MRU)
+	assoc    int
+	lineBits uint
+	nSets    int64
+	hits     int64
+	misses   int64
+}
+
+// newCache builds the cache simulator from a configuration, applying
+// RHSFraction to the capacity and tracking residency at lineBytes
+// granularity (the gather sector size, which may be finer than the
+// nominal L2 line). Returns nil for a nil config (no cache: every
+// probe misses).
+func newCache(cfg *CacheConfig, lineBytes int) *cache {
+	if cfg == nil {
+		return nil
+	}
+	if cfg.Bytes <= 0 || cfg.LineBytes <= 0 || cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("gpu: invalid cache config %+v", *cfg))
+	}
+	frac := cfg.RHSFraction
+	if frac <= 0 {
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if lineBytes <= 0 {
+		lineBytes = cfg.LineBytes
+	}
+	capBytes := int(float64(cfg.Bytes) * frac)
+	lines := capBytes / lineBytes
+	if lines < cfg.Assoc {
+		lines = cfg.Assoc
+	}
+	nSets := lines / cfg.Assoc
+	if nSets < 1 {
+		nSets = 1
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineBytes {
+		lineBits++
+	}
+	c := &cache{
+		sets:     make([][]int64, nSets),
+		assoc:    cfg.Assoc,
+		lineBits: lineBits,
+		nSets:    int64(nSets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]int64, 0, cfg.Assoc)
+	}
+	return c
+}
+
+// probe looks up the line containing addr, updating LRU state.
+// It returns true on a hit. A nil cache always misses.
+func (c *cache) probe(addr int64) bool {
+	if c == nil {
+		return false
+	}
+	line := addr >> c.lineBits
+	set := c.sets[line%c.nSets]
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[line%c.nSets] = set
+	return false
+}
+
+// reset clears contents and counters.
+func (c *cache) reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// hitRate returns hits/(hits+misses), 0 when unused.
+func (c *cache) hitRate() float64 {
+	if c == nil || c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}

@@ -1,0 +1,349 @@
+package gpu
+
+import (
+	"fmt"
+
+	"pjds/internal/core"
+	"pjds/internal/formats"
+	"pjds/internal/matrix"
+)
+
+// RunOptions modify a kernel execution.
+type RunOptions struct {
+	// Accumulate computes y += A·x instead of y = A·x. The result
+	// vector is then both read and written, which adds the 8/N_nzr
+	// bytes/flop the paper attributes to the split local/non-local
+	// spMVM of §III-A.
+	Accumulate bool
+}
+
+// RunELLPACK executes the plain ELLPACK spMVM (Fig. 2a): every thread
+// iterates to the global maximum row length, computing on padding.
+// y = A·x is computed functionally; the returned stats carry the
+// transaction-level timing model.
+func RunELLPACK[T matrix.Float](d *Device, e *formats.ELLPACK[T], y, x []T, opt RunOptions) (*KernelStats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != e.NCols || len(y) != e.N {
+		return nil, fmt.Errorf("gpu: ELLPACK run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
+	}
+	es := core.SizeofElem[T]()
+	st := &KernelStats{Kernel: "ELLPACK", Rows: e.N, Nnz: int64(e.NnzV), UsefulFlops: 2 * int64(e.NnzV), ElemBytes: es}
+	ws := d.WarpSize
+	segShift := log2(d.SegmentBytes)
+	segBytes := int64(d.SegmentBytes)
+	secShift := log2(d.GatherSectorBytes)
+	secBytes := int64(d.GatherSectorBytes)
+	l2 := newCache(d.L2, d.GatherSectorBytes)
+	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
+	sum := make([]T, ws)
+
+	for wbase := 0; wbase < e.NPad; wbase += ws {
+		st.Warps++
+		if e.MaxRowLen > 0 {
+			st.ActiveWarps++
+		}
+		lanes := ws
+		if wbase+lanes > e.NPad {
+			lanes = e.NPad - wbase
+		}
+		for l := range sum {
+			sum[l] = 0
+		}
+		st.WarpSteps += int64(e.MaxRowLen)
+		for j := 0; j < e.MaxRowLen; j++ {
+			valSegs.reset()
+			idxSegs.reset()
+			rhsSegs.reset()
+			for lane := 0; lane < lanes; lane++ {
+				i := wbase + lane
+				at := j*e.NPad + i
+				c := e.ColIdx[at]
+				sum[lane] += e.Val[at] * x[c]
+				st.ExecutedLaneSteps++
+				valSegs.add(addrVal+int64(at)*int64(es), segShift)
+				idxSegs.add(addrIdx+int64(at)*4, segShift)
+				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
+			}
+			st.BytesVal += int64(len(valSegs.segs)) * segBytes
+			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
+			for _, sec := range rhsSegs.segs {
+				st.RHSProbes++
+				if !l2.probe(sec << secShift) {
+					st.RHSMisses++
+					st.BytesRHS += secBytes
+				}
+			}
+		}
+		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, e.N), es, segShift, segBytes, opt.Accumulate)
+		storeResult(y, sum, wbase, e.N, opt.Accumulate)
+	}
+	st.finish(d, ws)
+	return st, nil
+}
+
+// RunELLPACKR executes the ELLPACK-R spMVM of Listing 1 (Fig. 2b):
+// lanes stop at their row's true length, but the warp reserves its MP
+// slot until its longest row finishes, and partially-filled memory
+// transactions still move full segments.
+func RunELLPACKR[T matrix.Float](d *Device, e *formats.ELLPACKR[T], y, x []T, opt RunOptions) (*KernelStats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != e.NCols || len(y) != e.N {
+		return nil, fmt.Errorf("gpu: ELLPACK-R run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
+	}
+	es := core.SizeofElem[T]()
+	st := &KernelStats{Kernel: "ELLPACK-R", Rows: e.N, Nnz: int64(e.NnzV), UsefulFlops: 2 * int64(e.NnzV), ElemBytes: es}
+	ws := d.WarpSize
+	segShift := log2(d.SegmentBytes)
+	segBytes := int64(d.SegmentBytes)
+	secShift := log2(d.GatherSectorBytes)
+	secBytes := int64(d.GatherSectorBytes)
+	l2 := newCache(d.L2, d.GatherSectorBytes)
+	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
+	sum := make([]T, ws)
+
+	for wbase := 0; wbase < e.NPad; wbase += ws {
+		st.Warps++
+		lanes := ws
+		if wbase+lanes > e.NPad {
+			lanes = e.NPad - wbase
+		}
+		maxLen := 0
+		for lane := 0; lane < lanes; lane++ {
+			if l := int(e.RowLen[wbase+lane]); l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen > 0 {
+			st.ActiveWarps++
+		}
+		for l := range sum {
+			sum[l] = 0
+		}
+		st.WarpSteps += int64(maxLen)
+		// The rowmax[] load: one coalesced segment per warp.
+		st.BytesMeta += segBytes
+		for j := 0; j < maxLen; j++ {
+			valSegs.reset()
+			idxSegs.reset()
+			rhsSegs.reset()
+			for lane := 0; lane < lanes; lane++ {
+				i := wbase + lane
+				if j >= int(e.RowLen[i]) {
+					continue // lane idle: reserved but useless (light boxes of Fig. 2b)
+				}
+				at := j*e.NPad + i
+				c := e.ColIdx[at]
+				sum[lane] += e.Val[at] * x[c]
+				st.ExecutedLaneSteps++
+				valSegs.add(addrVal+int64(at)*int64(es), segShift)
+				idxSegs.add(addrIdx+int64(at)*4, segShift)
+				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
+			}
+			st.BytesVal += int64(len(valSegs.segs)) * segBytes
+			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
+			for _, sec := range rhsSegs.segs {
+				st.RHSProbes++
+				if !l2.probe(sec << secShift) {
+					st.RHSMisses++
+					st.BytesRHS += secBytes
+				}
+			}
+		}
+		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, e.N), es, segShift, segBytes, opt.Accumulate)
+		storeResult(y, sum, wbase, e.N, opt.Accumulate)
+	}
+	st.finish(d, ws)
+	return st, nil
+}
+
+// RunPJDS executes the pJDS spMVM of Listing 2 (Fig. 2c) in the
+// permuted basis: yp = Ap·xp with yp in sorted-row order. Because rows
+// are sorted, lanes of a warp have (nearly) equal lengths, so both the
+// reserved-but-idle lane steps and the partially-filled transactions
+// of ELLPACK-R largely disappear.
+func RunPJDS[T matrix.Float](d *Device, p *core.PJDS[T], yp, xp []T, opt RunOptions) (*KernelStats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(xp) != p.NCols || len(yp) < p.N {
+		return nil, fmt.Errorf("gpu: pJDS run |x|=%d |y|=%d on %dx%d: %w", len(xp), len(yp), p.N, p.NCols, matrix.ErrShape)
+	}
+	es := core.SizeofElem[T]()
+	st := &KernelStats{Kernel: p.Name(), Rows: p.N, Nnz: int64(p.Nnz), UsefulFlops: 2 * int64(p.Nnz), ElemBytes: es}
+	ws := d.WarpSize
+	segShift := log2(d.SegmentBytes)
+	segBytes := int64(d.SegmentBytes)
+	secShift := log2(d.GatherSectorBytes)
+	secBytes := int64(d.GatherSectorBytes)
+	l2 := newCache(d.L2, d.GatherSectorBytes)
+	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
+	sum := make([]T, ws)
+
+	for wbase := 0; wbase < p.NPad; wbase += ws {
+		st.Warps++
+		lanes := ws
+		if wbase+lanes > p.NPad {
+			lanes = p.NPad - wbase
+		}
+		maxLen := 0
+		for lane := 0; lane < lanes; lane++ {
+			if l := int(p.RowLen[wbase+lane]); l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen > 0 {
+			st.ActiveWarps++
+		}
+		for l := range sum {
+			sum[l] = 0
+		}
+		st.WarpSteps += int64(maxLen)
+		st.BytesMeta += segBytes // rowmax[] load; col_start[] assumed cached (§II-B)
+		for j := 0; j < maxLen; j++ {
+			off := int(p.ColStart[j])
+			valSegs.reset()
+			idxSegs.reset()
+			rhsSegs.reset()
+			for lane := 0; lane < lanes; lane++ {
+				i := wbase + lane
+				if j >= int(p.RowLen[i]) {
+					continue
+				}
+				at := off + i
+				c := p.ColIdx[at]
+				sum[lane] += p.Val[at] * xp[c]
+				st.ExecutedLaneSteps++
+				valSegs.add(addrVal+int64(at)*int64(es), segShift)
+				idxSegs.add(addrIdx+int64(at)*4, segShift)
+				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
+			}
+			st.BytesVal += int64(len(valSegs.segs)) * segBytes
+			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
+			for _, sec := range rhsSegs.segs {
+				st.RHSProbes++
+				if !l2.probe(sec << secShift) {
+					st.RHSMisses++
+					st.BytesRHS += secBytes
+				}
+			}
+		}
+		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, p.N), es, segShift, segBytes, opt.Accumulate)
+		storeResult(yp, sum, wbase, p.N, opt.Accumulate)
+	}
+	st.finish(d, ws)
+	return st, nil
+}
+
+// RunSlicedELL executes the sliced-ELLPACK kernel (related work
+// [12, 13]) in its stored row order: yp = Ap·xp.
+func RunSlicedELL[T matrix.Float](d *Device, s *formats.SlicedELL[T], yp, xp []T, opt RunOptions) (*KernelStats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(xp) != s.NCols || len(yp) < s.N {
+		return nil, fmt.Errorf("gpu: sliced-ELL run |x|=%d |y|=%d on %dx%d: %w", len(xp), len(yp), s.N, s.NCols, matrix.ErrShape)
+	}
+	es := core.SizeofElem[T]()
+	st := &KernelStats{Kernel: s.Name(), Rows: s.N, Nnz: int64(s.NonZeros()), UsefulFlops: 2 * int64(s.NonZeros()), ElemBytes: es}
+	ws := d.WarpSize
+	segShift := log2(d.SegmentBytes)
+	segBytes := int64(d.SegmentBytes)
+	secShift := log2(d.GatherSectorBytes)
+	secBytes := int64(d.GatherSectorBytes)
+	l2 := newCache(d.L2, d.GatherSectorBytes)
+	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
+	sum := make([]T, ws)
+
+	// One warp covers ws consecutive rows, which may span several
+	// slices when C < warpSize; lanes are then grouped per slice but
+	// still issue one SIMT instruction stream.
+	for wbase := 0; wbase < s.NPad; wbase += ws {
+		st.Warps++
+		lanes := ws
+		if wbase+lanes > s.NPad {
+			lanes = s.NPad - wbase
+		}
+		maxLen := 0
+		for lane := 0; lane < lanes; lane++ {
+			if l := int(s.RowLen[wbase+lane]); l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen > 0 {
+			st.ActiveWarps++
+		}
+		for l := range sum {
+			sum[l] = 0
+		}
+		st.WarpSteps += int64(maxLen)
+		st.BytesMeta += 2 * segBytes // rowLen + slice offset/length metadata
+		for j := 0; j < maxLen; j++ {
+			valSegs.reset()
+			idxSegs.reset()
+			rhsSegs.reset()
+			for lane := 0; lane < lanes; lane++ {
+				i := wbase + lane
+				if j >= int(s.RowLen[i]) {
+					continue
+				}
+				sl, slLane := i/s.C, i%s.C
+				at := s.SliceStart[sl] + int64(j*s.C+slLane)
+				c := s.ColIdx[at]
+				sum[lane] += s.Val[at] * xp[c]
+				st.ExecutedLaneSteps++
+				valSegs.add(addrVal+at*int64(es), segShift)
+				idxSegs.add(addrIdx+at*4, segShift)
+				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
+			}
+			st.BytesVal += int64(len(valSegs.segs)) * segBytes
+			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
+			for _, sec := range rhsSegs.segs {
+				st.RHSProbes++
+				if !l2.probe(sec << secShift) {
+					st.RHSMisses++
+					st.BytesRHS += secBytes
+				}
+			}
+		}
+		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, s.N), es, segShift, segBytes, opt.Accumulate)
+		storeResult(yp, sum, wbase, s.N, opt.Accumulate)
+	}
+	st.finish(d, ws)
+	return st, nil
+}
+
+// lhsBytes counts the result-vector traffic for rows [lo, hi): one
+// store (and one load when accumulating) per touched segment.
+func lhsBytes(segs *segCounter, lo, hi, es int, segShift uint, segBytes int64, accumulate bool) int64 {
+	if hi <= lo {
+		return 0
+	}
+	segs.reset()
+	for i := lo; i < hi; i++ {
+		segs.add(addrLHS+int64(i)*int64(es), segShift)
+	}
+	b := int64(len(segs.segs)) * segBytes
+	if accumulate {
+		b *= 2
+	}
+	return b
+}
+
+// storeResult commits per-lane sums to y for rows below n.
+func storeResult[T matrix.Float](y, sum []T, wbase, n int, accumulate bool) {
+	for lane := 0; lane < len(sum); lane++ {
+		i := wbase + lane
+		if i >= n {
+			break
+		}
+		if accumulate {
+			y[i] += sum[lane]
+		} else {
+			y[i] = sum[lane]
+		}
+	}
+}

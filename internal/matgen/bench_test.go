@@ -1,0 +1,24 @@
+package matgen
+
+import "testing"
+
+// Generation throughput of the paper-matrix generators (non-zeros per
+// second), at 1% scale so iterations stay fast.
+func BenchmarkGenerators(b *testing.B) {
+	for _, tm := range Catalog() {
+		b.Run(tm.Name, func(b *testing.B) {
+			var nnz int
+			for i := 0; i < b.N; i++ {
+				m := tm.Generate(0.01, int64(i))
+				nnz = m.Nnz()
+			}
+			b.ReportMetric(float64(nnz), "nnz")
+		})
+	}
+}
+
+func BenchmarkStencil2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Stencil2D(300, 300)
+	}
+}

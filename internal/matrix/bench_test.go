@@ -1,0 +1,65 @@
+package matrix
+
+import "testing"
+
+func benchMatrix(b *testing.B) *CSR[float64] {
+	b.Helper()
+	m := randomCSR(2000, 2000, 0.01, 1)
+	b.SetBytes(int64(m.Nnz()) * 12)
+	return m
+}
+
+func BenchmarkCSRMulVec(b *testing.B) {
+	m := benchMatrix(b)
+	x := make([]float64, m.NCols)
+	y := make([]float64, m.NRows)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MulVec(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCOOToCSR(b *testing.B) {
+	coo := NewCOO[float64](2000, 2000)
+	m := randomCSR(2000, 2000, 0.01, 2)
+	for i := 0; i < m.NRows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			coo.Add(i, int(c), vals[k])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = coo.ToCSR()
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Transpose()
+	}
+}
+
+func BenchmarkSortRowsByLengthDesc(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SortRowsByLengthDesc(m)
+	}
+}
+
+func BenchmarkPermuteSymmetric(b *testing.B) {
+	m := benchMatrix(b)
+	p := SortRowsByLengthDesc(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PermuteSymmetric(m, p)
+	}
+}

@@ -1,0 +1,106 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary container for CSR matrices: a fast little-endian dump used by
+// the experiment harness's on-disk cache, so multi-hundred-million-
+// non-zero matrices (DLR2, UHBR) are generated once per machine.
+// Layout: magic, version, dims/nnz header, then the three arrays raw.
+
+var binaryMagic = [8]byte{'P', 'J', 'D', 'S', 'C', 'S', 'R', '1'}
+
+// WriteBinary writes m in the binary container format.
+func WriteBinary(w io.Writer, m *CSR[float64]) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(m.NRows))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(m.NCols))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(m.Nnz()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range m.RowPtr {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	for _, c := range m.ColIdx {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(c))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for _, v := range m.Val {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary container back into a CSR matrix,
+// validating structure as NewCSR would.
+func ReadBinary(r io.Reader) (*CSR[float64], error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("matrix: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("matrix: bad binary magic %q", magic[:])
+	}
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("matrix: binary dims: %w", err)
+	}
+	rows := int(binary.LittleEndian.Uint64(hdr[0:]))
+	cols := int(binary.LittleEndian.Uint64(hdr[8:]))
+	nnz := int(binary.LittleEndian.Uint64(hdr[16:]))
+	const maxDim = 1 << 30
+	if rows < 0 || cols < 0 || nnz < 0 || rows > maxDim || cols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("matrix: implausible binary dims %dx%d nnz=%d", rows, cols, nnz)
+	}
+	// Grow the arrays as data actually arrives, so a forged header on
+	// a short stream cannot drive a huge up-front allocation.
+	var buf [8]byte
+	hint := func(n int) int {
+		if n > 1<<20 {
+			return 1 << 20
+		}
+		return n
+	}
+	rowPtr := make([]int, 0, hint(rows+1))
+	for i := 0; i <= rows; i++ {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("matrix: binary rowPtr: %w", err)
+		}
+		rowPtr = append(rowPtr, int(binary.LittleEndian.Uint64(buf[:])))
+	}
+	colIdx := make([]int32, 0, hint(nnz))
+	for i := 0; i < nnz; i++ {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("matrix: binary colIdx: %w", err)
+		}
+		colIdx = append(colIdx, int32(binary.LittleEndian.Uint32(buf[:4])))
+	}
+	val := make([]float64, 0, hint(nnz))
+	for i := 0; i < nnz; i++ {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("matrix: binary val: %w", err)
+		}
+		val = append(val, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+	}
+	return NewCSR(rows, cols, rowPtr, colIdx, val)
+}

@@ -1,0 +1,81 @@
+package matrix
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := randomCSR(300, 250, 0.05, 71)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back, 0) {
+		t.Fatal("binary round trip changed the matrix")
+	}
+}
+
+func TestBinaryRoundTripEmptyAndSpecialValues(t *testing.T) {
+	coo := NewCOO[float64](3, 3)
+	coo.Add(0, 0, -0.0)
+	coo.Add(1, 2, 1e-308)
+	coo.Add(2, 1, -1e300)
+	m := coo.ToCSR()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.Val {
+		if m.Val[k] != back.Val[k] {
+			t.Fatalf("val[%d] changed", k)
+		}
+	}
+	// Fully empty matrix.
+	empty := NewCOO[float64](0, 0).ToCSR()
+	buf.Reset()
+	if err := WriteBinary(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryReadErrors(t *testing.T) {
+	m := randomCSR(20, 20, 0.2, 72)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTMAGIC"), full[8:]...),
+		"no header":   full[:10],
+		"truncated":   full[:len(full)/2],
+		"missing val": full[:len(full)-4],
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Implausible dimensions.
+	evil := append([]byte{}, full[:8]...)
+	evil = append(evil, make([]byte, 24)...)
+	for i := 8; i < 16; i++ {
+		evil[i] = 0xff
+	}
+	if _, err := ReadBinary(bytes.NewReader(evil)); err == nil {
+		t.Error("absurd dimensions accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := randomCSR(25, 17, 0.2, 31)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back, 0) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketReadGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment line
+3 3 4
+1 1 2.0
+2 3 -1.5
+3 1 4
+3 3 1e-3
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows != 3 || m.NCols != 3 || m.Nnz() != 4 {
+		t.Fatalf("shape %dx%d nnz %d", m.NRows, m.NCols, m.Nnz())
+	}
+	if m.At(1, 2) != -1.5 || m.At(2, 2) != 1e-3 {
+		t.Error("values misread")
+	}
+}
+
+func TestMatrixMarketReadSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1
+2 1 5
+3 3 2
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nnz() != 4 { // diagonal entries not mirrored
+		t.Fatalf("nnz = %d, want 4", m.Nnz())
+	}
+	if m.At(0, 1) != 5 || m.At(1, 0) != 5 {
+		t.Error("symmetric mirror missing")
+	}
+}
+
+func TestMatrixMarketReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 1 || m.At(1, 0) != 1 {
+		t.Error("pattern entries should read as 1")
+	}
+}
+
+func TestMatrixMarketReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "%%MatrixMarket tensor coordinate real general\n1 1 0\n",
+		"bad field":       "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad symmetry":    "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"bad size":        "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"neg size":        "%%MatrixMarket matrix coordinate real general\n-1 2 0\n",
+		"truncated":       "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"entry range":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"short entry":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+		"bad row index":   "%%MatrixMarket matrix coordinate real general\n2 2 1\nxx 1 1.0\n",
+		"bad col index":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 yy 1.0\n",
+		"dense unsupport": "%%MatrixMarket matrix array real general\n2 2\n1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket[float64](strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketSinglePrecision(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0.25\n"
+	m, err := ReadMatrixMarket[float32](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 0.25 {
+		t.Errorf("got %g", m.At(0, 0))
+	}
+}

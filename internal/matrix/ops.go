@@ -1,0 +1,114 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector and matrix utility operations shared by the solvers and the
+// preprocessing pipelines (diagonal extraction for Jacobi, row/column
+// equilibration, residual norms).
+
+// Diag returns the diagonal of a square matrix (zeros where no entry
+// is stored).
+func Diag[T Float](m *CSR[T]) []T {
+	if m.NRows != m.NCols {
+		panic(fmt.Sprintf("matrix: Diag of a %dx%d matrix", m.NRows, m.NCols))
+	}
+	d := make([]T, m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// ScaleRows multiplies row i of m by s[i] in place.
+func ScaleRows[T Float](m *CSR[T], s []T) {
+	if len(s) != m.NRows {
+		panic(fmt.Sprintf("matrix: ScaleRows with %d factors on %d rows", len(s), m.NRows))
+	}
+	for i := 0; i < m.NRows; i++ {
+		f := s[i]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			m.Val[k] *= f
+		}
+	}
+}
+
+// ScaleCols multiplies column j of m by s[j] in place.
+func ScaleCols[T Float](m *CSR[T], s []T) {
+	if len(s) != m.NCols {
+		panic(fmt.Sprintf("matrix: ScaleCols with %d factors on %d columns", len(s), m.NCols))
+	}
+	for k, c := range m.ColIdx {
+		m.Val[k] *= s[c]
+	}
+}
+
+// Add returns a + b for matrices of identical shape (structural
+// union, values summed).
+func Add[T Float](a, b *CSR[T]) (*CSR[T], error) {
+	if a.NRows != b.NRows || a.NCols != b.NCols {
+		return nil, fmt.Errorf("matrix: Add %dx%d and %dx%d: %w", a.NRows, a.NCols, b.NRows, b.NCols, ErrShape)
+	}
+	out := &CSR[T]{
+		NRows:  a.NRows,
+		NCols:  a.NCols,
+		RowPtr: make([]int, a.NRows+1),
+	}
+	for i := 0; i < a.NRows; i++ {
+		ca, va := a.Row(i)
+		cb, vb := b.Row(i)
+		x, y := 0, 0
+		for x < len(ca) || y < len(cb) {
+			switch {
+			case y == len(cb) || (x < len(ca) && ca[x] < cb[y]):
+				out.ColIdx = append(out.ColIdx, ca[x])
+				out.Val = append(out.Val, va[x])
+				x++
+			case x == len(ca) || cb[y] < ca[x]:
+				out.ColIdx = append(out.ColIdx, cb[y])
+				out.Val = append(out.Val, vb[y])
+				y++
+			default:
+				out.ColIdx = append(out.ColIdx, ca[x])
+				out.Val = append(out.Val, va[x]+vb[y])
+				x++
+				y++
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out, nil
+}
+
+// Symmetrize returns (A + Aᵀ)/2 for a square matrix — the model
+// operator used when an eigensolver needs a symmetric spectrum from a
+// structurally nonsymmetric application matrix.
+func Symmetrize[T Float](m *CSR[T]) (*CSR[T], error) {
+	if m.NRows != m.NCols {
+		return nil, fmt.Errorf("matrix: Symmetrize of a %dx%d matrix: %w", m.NRows, m.NCols, ErrShape)
+	}
+	s, err := Add(m, m.Transpose())
+	if err != nil {
+		return nil, err
+	}
+	for k := range s.Val {
+		s.Val[k] /= 2
+	}
+	return s, nil
+}
+
+// ResidualNorm returns ‖b − A·x‖₂.
+func ResidualNorm[T Float](m *CSR[T], x, b []T) (float64, error) {
+	r := make([]T, m.NRows)
+	if err := m.MulVec(r, x); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range r {
+		d := float64(b[i] - r[i])
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}

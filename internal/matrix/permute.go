@@ -1,0 +1,168 @@
+package matrix
+
+import "fmt"
+
+// Perm is a permutation of [0, n): Perm[new] = old. Applying a Perm to
+// a vector gathers elements from their old positions into the new
+// order. The pJDS format stores its row-sorting permutation as a Perm
+// so that iterative solvers can move in and out of the permuted basis
+// exactly once, as §II-A of the paper prescribes.
+type Perm []int
+
+// Identity returns the identity permutation of size n.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a bijection on [0, len(p)).
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns q with q[p[i]] = i.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Compose returns the permutation r = p∘q, i.e. r[i] = q[p[i]]:
+// applying r is equivalent to applying p, then q to the result.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("matrix: composing permutations of size %d and %d", len(p), len(q)))
+	}
+	r := make(Perm, len(p))
+	for i := range r {
+		r[i] = q[p[i]]
+	}
+	return r
+}
+
+// Gather writes dst[i] = src[p[i]] and returns dst. dst and src must
+// not alias.
+func Gather[T Float](dst, src []T, p Perm) []T {
+	if len(dst) != len(p) || len(src) != len(p) {
+		panic(fmt.Sprintf("matrix: Gather sizes dst=%d src=%d p=%d", len(dst), len(src), len(p)))
+	}
+	for i, v := range p {
+		dst[i] = src[v]
+	}
+	return dst
+}
+
+// Scatter writes dst[p[i]] = src[i] and returns dst, the inverse
+// motion of Gather. dst and src must not alias.
+func Scatter[T Float](dst, src []T, p Perm) []T {
+	if len(dst) != len(p) || len(src) != len(p) {
+		panic(fmt.Sprintf("matrix: Scatter sizes dst=%d src=%d p=%d", len(dst), len(src), len(p)))
+	}
+	for i, v := range p {
+		dst[v] = src[i]
+	}
+	return dst
+}
+
+// PermuteRows returns the matrix whose row i is row p[i] of m.
+func PermuteRows[T Float](m *CSR[T], p Perm) *CSR[T] {
+	if len(p) != m.NRows {
+		panic(fmt.Sprintf("matrix: row permutation size %d on %d rows", len(p), m.NRows))
+	}
+	out := &CSR[T]{
+		NRows:  m.NRows,
+		NCols:  m.NCols,
+		RowPtr: make([]int, m.NRows+1),
+		ColIdx: make([]int32, m.Nnz()),
+		Val:    make([]T, m.Nnz()),
+	}
+	for i, old := range p {
+		out.RowPtr[i+1] = out.RowPtr[i] + m.RowLen(old)
+	}
+	for i, old := range p {
+		lo, hi := m.RowPtr[old], m.RowPtr[old+1]
+		copy(out.ColIdx[out.RowPtr[i]:], m.ColIdx[lo:hi])
+		copy(out.Val[out.RowPtr[i]:], m.Val[lo:hi])
+	}
+	return out
+}
+
+// PermuteSymmetric returns P·A·Pᵀ for the permutation p: rows are
+// reordered with PermuteRows and every column index c is renamed to
+// p⁻¹(c). A symmetric permutation preserves eigenvalues, which is why
+// solvers can run entirely in the pJDS-permuted basis.
+func PermuteSymmetric[T Float](m *CSR[T], p Perm) *CSR[T] {
+	if m.NRows != m.NCols {
+		panic("matrix: symmetric permutation of a non-square matrix")
+	}
+	out := PermuteRows(m, p)
+	inv := p.Inverse()
+	for k, c := range out.ColIdx {
+		out.ColIdx[k] = int32(inv[c])
+	}
+	// Re-sort column indices within each row (renaming breaks order).
+	for i := 0; i < out.NRows; i++ {
+		lo, hi := out.RowPtr[i], out.RowPtr[i+1]
+		sortRow(out.ColIdx[lo:hi], out.Val[lo:hi])
+	}
+	return out
+}
+
+// sortRow sorts a (cols, vals) pair by column index using insertion
+// sort; rows are short and nearly sorted after renaming.
+func sortRow[T Float](cols []int32, vals []T) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
+// SortRowsByLengthDesc returns a permutation ordering rows by
+// descending stored length, breaking ties by ascending original row
+// index. This is the pJDS "sort" step of Fig. 1; the stable tie-break
+// keeps the construction deterministic.
+func SortRowsByLengthDesc[T Float](m *CSR[T]) Perm {
+	p := Identity(m.NRows)
+	lens := make([]int, m.NRows)
+	for i := range lens {
+		lens[i] = m.RowLen(i)
+	}
+	// Counting sort by length: O(N + maxLen), stable, and fast for the
+	// multi-million-row matrices of the paper.
+	maxLen := 0
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	count := make([]int, maxLen+2)
+	for _, l := range lens {
+		count[maxLen-l+1]++
+	}
+	for i := 1; i < len(count); i++ {
+		count[i] += count[i-1]
+	}
+	for i := 0; i < m.NRows; i++ { // ascending i gives the stable tie-break
+		b := maxLen - lens[i]
+		p[count[b]] = i
+		count[b]++
+	}
+	return p
+}

@@ -1,0 +1,57 @@
+package mpi
+
+import "sync"
+
+// coordinator implements generation-counted rendezvous for the
+// collectives: each rank arrives with its clock and an optional
+// payload; when the last rank arrives, the generation's result is
+// frozen and everyone is released. Collectives must be called by all
+// ranks in the same order, as in MPI.
+type rendezvousResult struct {
+	maxClock float64
+	payloads []any
+}
+
+type coordinator struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     int
+	current rendezvousResult
+	frozen  rendezvousResult
+}
+
+func newCoordinator(n int) *coordinator {
+	c := &coordinator{n: n}
+	c.cond = sync.NewCond(&c.mu)
+	c.current.payloads = make([]any, n)
+	return c
+}
+
+// rendezvous blocks until all n ranks have arrived in this generation,
+// then returns the frozen result (max clock, all payloads in rank
+// order).
+func (c *coordinator) rendezvous(rank int, clock float64, payload any) rendezvousResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := c.gen
+	if clock > c.current.maxClock {
+		c.current.maxClock = clock
+	}
+	c.current.payloads[rank] = payload
+	c.arrived++
+	if c.arrived == c.n {
+		// Freeze this generation and open the next.
+		c.frozen = c.current
+		c.current = rendezvousResult{payloads: make([]any, c.n)}
+		c.arrived = 0
+		c.gen++
+		c.cond.Broadcast()
+		return c.frozen
+	}
+	for gen == c.gen {
+		c.cond.Wait()
+	}
+	return c.frozen
+}

@@ -1,0 +1,280 @@
+// Package mpi is an MPI-flavoured message-passing layer over the
+// virtual-time fabric of internal/simnet. Ranks run as goroutines;
+// payloads really move (so distributed results are verified against
+// the serial reference), and every operation advances a per-rank
+// virtual clock from which the strong-scaling results of Fig. 5 are
+// derived.
+//
+// The layer reproduces the §III-A distinction the paper's three
+// communication schemes hinge on: with Fabric.AsyncProgress false
+// (the realistic default), a nonblocking Isend does not move data
+// until the matching Wait, so "naive overlap" of communication with
+// computation gains nothing; true overlap needs a dedicated
+// communication thread, which callers model by running communication
+// and computation on forked clocks and joining them with MaxClock.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pjds/internal/simnet"
+)
+
+// Comm is one rank's endpoint: a rank id, a virtual clock, and the
+// shared switch and collective coordinator.
+type Comm struct {
+	rank  int
+	world *World
+	clock float64
+	// nicBusyUntil serializes message injection at this rank's NIC.
+	nicBusyUntil float64
+}
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	comm *Comm
+	send bool
+	done bool
+
+	// send fields
+	dst, tag int
+	payload  any
+	bytes    int64
+	injected bool    // true once handed to the wire
+	doneAt   float64 // injection end (send) or arrival (recv)
+
+	// recv fields
+	src     int
+	Message simnet.Message // filled after Wait for receives
+}
+
+// World owns the shared state of one simulated run.
+type World struct {
+	sw    *simnet.Switch
+	coord *coordinator
+	errs  []error
+	comms []*Comm
+}
+
+// Run executes body on n ranks over the given fabric and returns the
+// final virtual clock of every rank. A panic in a rank body is
+// converted into an error carrying the rank id; the first error (by
+// rank) is returned.
+func Run(n int, fabric *simnet.Fabric, body func(*Comm) error) ([]float64, error) {
+	return RunWithTopology(n, fabric, 1, nil, body)
+}
+
+// RunWithTopology is Run for clusters with several ranks (GPUs) per
+// physical node: consecutive groups of ranksPerNode ranks exchange
+// messages over the intra fabric (nil selects simnet.SharedMemory when
+// ranksPerNode > 1).
+func RunWithTopology(n int, fabric *simnet.Fabric, ranksPerNode int, intra *simnet.Fabric, body func(*Comm) error) ([]float64, error) {
+	sw, err := simnet.NewSwitch(fabric, n)
+	if err != nil {
+		return nil, err
+	}
+	if ranksPerNode > 1 {
+		if intra == nil {
+			intra = simnet.SharedMemory()
+		}
+		if err := sw.SetTopology(ranksPerNode, intra); err != nil {
+			return nil, err
+		}
+	}
+	w := &World{
+		sw:    sw,
+		coord: newCoordinator(n),
+		errs:  make([]error, n),
+		comms: make([]*Comm, n),
+	}
+	for i := range w.comms {
+		w.comms[i] = &Comm{rank: i, world: w}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					w.errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+				}
+			}()
+			w.errs[rank] = body(w.comms[rank])
+		}(i)
+	}
+	wg.Wait()
+	clocks := make([]float64, n)
+	for i, c := range w.comms {
+		clocks[i] = c.clock
+	}
+	for _, err := range w.errs {
+		if err != nil {
+			return clocks, err
+		}
+	}
+	return clocks, nil
+}
+
+// Rank returns this endpoint's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.sw.Ranks() }
+
+// Fabric returns the interconnect model.
+func (c *Comm) Fabric() *simnet.Fabric { return c.world.sw.Fabric() }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// Advance adds local compute time to the clock.
+func (c *Comm) Advance(dt float64) {
+	if dt < 0 {
+		panic("mpi: negative time advance")
+	}
+	c.clock += dt
+}
+
+// SetClock moves the clock to t; callers use it to join forked
+// timelines (task mode) and must never move time backwards.
+func (c *Comm) SetClock(t float64) {
+	if t < c.clock {
+		panic(fmt.Sprintf("mpi: clock moving backwards: %g < %g", t, c.clock))
+	}
+	c.clock = t
+}
+
+// inject hands a message to the wire at the earliest time ≥ at the NIC
+// is free, returning the injection-complete time.
+func (c *Comm) inject(r *Request, at float64) float64 {
+	start := math.Max(at, c.nicBusyUntil)
+	wire := float64(r.bytes) / c.world.sw.FabricFor(c.rank, r.dst).BytesPerSecond
+	c.nicBusyUntil = start + wire
+	c.world.sw.Send(c.rank, r.dst, r.tag, r.payload, r.bytes, start)
+	r.injected = true
+	return c.nicBusyUntil
+}
+
+// Isend posts a nonblocking send of payload with the given modelled
+// wire size. With asynchronous progress the data enters the wire
+// immediately; without it (the realistic default, §III-A) the data
+// moves only when Wait is called.
+func (c *Comm) Isend(dst, tag int, payload any, bytes int64) *Request {
+	c.clock += c.Fabric().OverheadSeconds
+	r := &Request{comm: c, send: true, dst: dst, tag: tag, payload: payload, bytes: bytes}
+	if c.Fabric().AsyncProgress {
+		r.doneAt = c.inject(r, c.clock)
+	}
+	return r
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(src, tag int) *Request {
+	c.clock += c.Fabric().OverheadSeconds
+	return &Request{comm: c, src: src, tag: tag}
+}
+
+// Wait completes the request and advances the clock to its completion
+// time. For receives, the matched message is then available in
+// r.Message.
+func (r *Request) Wait() {
+	c := r.comm
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.send {
+		if !r.injected {
+			// No asynchronous progress: the CPU drives the transfer
+			// now, inside Wait.
+			r.doneAt = c.inject(r, c.clock)
+		}
+		c.clock = math.Max(c.clock, r.doneAt)
+		return
+	}
+	r.Message = c.world.sw.Recv(c.rank, r.src, r.tag)
+	r.doneAt = r.Message.ArrivesAt
+	c.clock = math.Max(c.clock, r.doneAt)
+}
+
+// Waitall completes all requests (sends first, so un-progressed data
+// enters the wire before receives are drained, as MPI_Waitall would).
+func (c *Comm) Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r.send {
+			r.Wait()
+		}
+	}
+	for _, r := range reqs {
+		if !r.send {
+			r.Wait()
+		}
+	}
+}
+
+// Send is the blocking convenience: Isend + Wait.
+func (c *Comm) Send(dst, tag int, payload any, bytes int64) {
+	c.Isend(dst, tag, payload, bytes).Wait()
+}
+
+// Recv is the blocking convenience: Irecv + Wait.
+func (c *Comm) Recv(src, tag int) simnet.Message {
+	r := c.Irecv(src, tag)
+	r.Wait()
+	return r.Message
+}
+
+// logSteps returns ceil(log2(n)), the tree depth of collectives.
+func logSteps(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// Barrier synchronizes all ranks: every clock jumps to the maximum
+// plus a tree-depth latency term.
+func (c *Comm) Barrier() {
+	res := c.world.coord.rendezvous(c.rank, c.clock, nil)
+	c.clock = res.maxClock + logSteps(c.Size())*c.Fabric().LatencySeconds
+}
+
+// AllreduceSum returns the sum of x over all ranks; clocks
+// synchronize to the maximum plus a reduce+broadcast tree cost.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	res := c.world.coord.rendezvous(c.rank, c.clock, x)
+	c.clock = res.maxClock + 2*logSteps(c.Size())*c.Fabric().LatencySeconds
+	sum := 0.0
+	for _, v := range res.payloads {
+		sum += v.(float64)
+	}
+	return sum
+}
+
+// AllreduceMax returns the maximum of x over all ranks, with the same
+// timing as AllreduceSum.
+func (c *Comm) AllreduceMax(x float64) float64 {
+	res := c.world.coord.rendezvous(c.rank, c.clock, x)
+	c.clock = res.maxClock + 2*logSteps(c.Size())*c.Fabric().LatencySeconds
+	max := math.Inf(-1)
+	for _, v := range res.payloads {
+		if f := v.(float64); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// AllgatherUntimed exchanges arbitrary per-rank payloads without
+// advancing any clock. It exists for setup phases — building the
+// communication pattern of the distributed spMVM — which the paper's
+// measurements exclude.
+func (c *Comm) AllgatherUntimed(payload any) []any {
+	res := c.world.coord.rendezvous(c.rank, c.clock, payload)
+	out := make([]any, len(res.payloads))
+	copy(out, res.payloads)
+	return out
+}

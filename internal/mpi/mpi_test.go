@@ -1,0 +1,327 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pjds/internal/simnet"
+)
+
+func fabric() *simnet.Fabric { return simnet.QDRInfiniBand() }
+
+func TestRunBasics(t *testing.T) {
+	clocks, err := Run(4, fabric(), func(c *Comm) error {
+		if c.Size() != 4 {
+			t.Error("size")
+		}
+		c.Advance(float64(c.Rank()))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, cl := range clocks {
+		if math.Abs(cl-float64(r)) > 1e-12 {
+			t.Errorf("rank %d clock = %g", r, cl)
+		}
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Run(3, fabric(), func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	_, err := Run(2, fabric(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestPingPongData(t *testing.T) {
+	_, err := Run(2, fabric(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{3.5, -1}, 16)
+			m := c.Recv(1, 1)
+			got := m.Payload.([]float64)
+			if got[0] != 7 || got[1] != -2 {
+				t.Errorf("pong = %v", got)
+			}
+		} else {
+			m := c.Recv(0, 0)
+			in := m.Payload.([]float64)
+			c.Send(0, 1, []float64{2 * in[0], 2 * in[1]}, 16)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimingSyncVsAsyncProgress: the core §III-A effect. With
+// asynchronous progress, compute between Isend and Wait overlaps the
+// transfer; without it, transfer time adds to compute time.
+func TestTimingSyncVsAsyncProgress(t *testing.T) {
+	const bytes = 32_000_000 // 10 ms on the 3.2 GB/s fabric
+	const compute = 0.05     // 50 ms
+	run := func(async bool) float64 {
+		f := fabric()
+		f.AsyncProgress = async
+		clocks, err := Run(2, f, func(c *Comm) error {
+			if c.Rank() == 0 {
+				req := c.Isend(1, 0, make([]float64, bytes/8), bytes)
+				c.Advance(compute)
+				req.Wait()
+			} else {
+				req := c.Irecv(0, 0)
+				c.Advance(compute)
+				req.Wait()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clocks[0]
+	}
+	wire := float64(bytes) / fabric().BytesPerSecond
+	async := run(true)
+	sync := run(false)
+	// Async: transfer hidden behind compute → sender finishes ≈ compute.
+	if async > compute+1e-3 {
+		t.Errorf("async sender clock %.4f, want ≈ %.4f (overlapped)", async, compute)
+	}
+	// Sync: transfer serialized after compute.
+	if sync < compute+wire-1e-3 {
+		t.Errorf("sync sender clock %.4f, want ≥ %.4f", sync, compute+wire)
+	}
+}
+
+// TestReceiverSeesArrivalTime: receiver waiting early still completes
+// only at the message's arrival time.
+func TestReceiverSeesArrivalTime(t *testing.T) {
+	const bytes = 3_200_000 // 1 ms wire time
+	f := fabric()
+	f.AsyncProgress = true
+	clocks, err := Run(2, f, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Advance(0.010) // sender starts late
+			c.Send(1, 0, nil, bytes)
+		} else {
+			c.Recv(0, 0) // posted at t≈0
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := f.TransferSeconds(bytes)
+	want := 0.010 + wire
+	if math.Abs(clocks[1]-want) > 1e-4 {
+		t.Errorf("receiver clock = %.5f, want ≈ %.5f", clocks[1], want)
+	}
+}
+
+// TestNICInjectionSerialization: two back-to-back sends from one rank
+// serialize on its NIC.
+func TestNICInjectionSerialization(t *testing.T) {
+	const bytes = 3_200_000 // 1 ms each
+	f := fabric()
+	f.AsyncProgress = true
+	var arrive2 float64
+	_, err := Run(3, f, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			r1 := c.Isend(1, 0, nil, bytes)
+			r2 := c.Isend(2, 0, nil, bytes)
+			r1.Wait()
+			r2.Wait()
+		case 1:
+			c.Recv(0, 0)
+		case 2:
+			m := c.Recv(0, 0)
+			arrive2 = m.ArrivesAt
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := float64(bytes) / f.BytesPerSecond
+	// Second message could not start before the first finished
+	// injecting: arrival ≥ 2 wire times.
+	if arrive2 < 2*wire {
+		t.Errorf("second arrival %.4f, want ≥ %.4f (NIC serialization)", arrive2, 2*wire)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	clocks, err := Run(4, fabric(), func(c *Comm) error {
+		c.Advance(float64(c.Rank()) * 0.01)
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if math.Abs(clocks[r]-clocks[0]) > 1e-12 {
+			t.Errorf("clocks diverge after barrier: %v", clocks)
+		}
+	}
+	if clocks[0] < 0.03 {
+		t.Errorf("barrier clock %g below slowest rank", clocks[0])
+	}
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	_, err := Run(5, fabric(), func(c *Comm) error {
+		sum := c.AllreduceSum(float64(c.Rank() + 1))
+		if sum != 15 {
+			t.Errorf("rank %d: sum = %g", c.Rank(), sum)
+		}
+		max := c.AllreduceMax(float64(c.Rank()))
+		if max != 4 {
+			t.Errorf("rank %d: max = %g", c.Rank(), max)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceCostsTime(t *testing.T) {
+	clocks, err := Run(8, fabric(), func(c *Comm) error {
+		c.AllreduceSum(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 3 * fabric().LatencySeconds // 2·log2(8)·latency
+	if math.Abs(clocks[0]-want) > 1e-9 {
+		t.Errorf("allreduce cost = %g, want %g", clocks[0], want)
+	}
+}
+
+func TestAllgatherUntimed(t *testing.T) {
+	clocks, err := Run(3, fabric(), func(c *Comm) error {
+		got := c.AllgatherUntimed(c.Rank() * 10)
+		for r, v := range got {
+			if v.(int) != r*10 {
+				t.Errorf("gathered[%d] = %v", r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range clocks {
+		if cl != 0 {
+			t.Errorf("untimed exchange advanced a clock to %g", cl)
+		}
+	}
+}
+
+func TestMultipleCollectivesInSequence(t *testing.T) {
+	_, err := Run(4, fabric(), func(c *Comm) error {
+		for i := 0; i < 10; i++ {
+			sum := c.AllreduceSum(1)
+			if sum != 4 {
+				t.Errorf("iter %d: sum = %g", i, sum)
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitIdempotent(t *testing.T) {
+	_, err := Run(2, fabric(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			r := c.Isend(1, 0, nil, 100)
+			r.Wait()
+			before := c.Clock()
+			r.Wait()
+			if c.Clock() != before {
+				t.Error("second Wait advanced the clock")
+			}
+		} else {
+			c.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockGuards(t *testing.T) {
+	_, err := Run(1, fabric(), func(c *Comm) error {
+		c.Advance(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("backwards SetClock accepted")
+			}
+		}()
+		c.SetClock(0.5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(1, fabric(), func(c *Comm) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Advance accepted")
+			}
+		}()
+		c.Advance(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitallOrdersSendsFirst: a rank that posts a receive and a send
+// and then calls Waitall must not deadlock against a partner doing the
+// same (sends are progressed first).
+func TestWaitallSendsFirstNoDeadlock(t *testing.T) {
+	_, err := Run(2, fabric(), func(c *Comm) error {
+		other := 1 - c.Rank()
+		reqs := []*Request{
+			c.Irecv(other, 0),
+			c.Isend(other, 0, c.Rank(), 4),
+		}
+		c.Waitall(reqs)
+		if got := reqs[0].Message.Payload.(int); got != other {
+			t.Errorf("rank %d received %d", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

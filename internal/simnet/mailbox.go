@@ -1,0 +1,40 @@
+package simnet
+
+import "sync"
+
+// mailbox is an unbounded, tag-matching message queue between one
+// (src, dst) rank pair. put never blocks; get blocks until a message
+// with the requested tag exists. Within one tag, messages are
+// delivered in the order they were put (MPI's non-overtaking rule).
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m Message) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) get(tag int) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.pending {
+			if m.Tag == tag {
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}

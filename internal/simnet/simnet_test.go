@@ -1,0 +1,115 @@
+package simnet
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestFabricValidateAndTransfer(t *testing.T) {
+	f := QDRInfiniBand()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One bandwidth-worth of bytes ≈ 1 s + latency.
+	got := f.TransferSeconds(int64(f.BytesPerSecond))
+	if math.Abs(got-(1+f.LatencySeconds)) > 1e-9 {
+		t.Errorf("transfer = %g", got)
+	}
+	if f.TransferSeconds(-1) != f.LatencySeconds {
+		t.Error("negative size should cost latency only")
+	}
+	for _, bad := range []*Fabric{
+		{LatencySeconds: -1, BytesPerSecond: 1},
+		{LatencySeconds: 0, BytesPerSecond: 0},
+		{LatencySeconds: 0, BytesPerSecond: 1, OverheadSeconds: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid fabric accepted: %+v", bad)
+		}
+	}
+}
+
+func TestNewSwitchErrors(t *testing.T) {
+	if _, err := NewSwitch(&Fabric{BytesPerSecond: 0}, 2); err == nil {
+		t.Error("bad fabric accepted")
+	}
+	if _, err := NewSwitch(QDRInfiniBand(), 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestSendRecvTiming(t *testing.T) {
+	sw, err := NewSwitch(QDRInfiniBand(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := sw.Send(0, 1, 7, []float64{1, 2}, 1600, 1.0)
+	want := 1.0 + sw.Fabric().TransferSeconds(1600)
+	if math.Abs(arr-want) > 1e-12 {
+		t.Errorf("arrival = %g, want %g", arr, want)
+	}
+	m := sw.Recv(1, 0, 7)
+	if m.ArrivesAt != arr || m.Src != 0 || m.Dst != 1 || m.Tag != 7 {
+		t.Errorf("message = %+v", m)
+	}
+	if p := m.Payload.([]float64); p[1] != 2 {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	sw, err := NewSwitch(QDRInfiniBand(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Send(0, 1, 1, "a", 8, 0)
+	sw.Send(0, 1, 2, "b", 8, 0)
+	sw.Send(0, 1, 1, "c", 8, 0.5)
+	if m := sw.Recv(1, 0, 2); m.Payload.(string) != "b" {
+		t.Error("tag 2 mismatch")
+	}
+	if m := sw.Recv(1, 0, 1); m.Payload.(string) != "a" {
+		t.Error("tag 1 order violated")
+	}
+	if m := sw.Recv(1, 0, 1); m.Payload.(string) != "c" {
+		t.Error("second tag-1 message")
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	sw, err := NewSwitch(QDRInfiniBand(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got Message
+	go func() {
+		defer wg.Done()
+		got = sw.Recv(1, 0, 9)
+	}()
+	sw.Send(0, 1, 9, 42, 4, 0)
+	wg.Wait()
+	if got.Payload.(int) != 42 {
+		t.Error("blocked recv got wrong payload")
+	}
+}
+
+func TestSendOutOfRangePanics(t *testing.T) {
+	sw, _ := NewSwitch(QDRInfiniBand(), 2)
+	for _, f := range []func(){
+		func() { sw.Send(2, 0, 0, nil, 0, 0) },
+		func() { sw.Send(0, -1, 0, nil, 0, 0) },
+		func() { sw.Recv(0, 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package solver
+
+import (
+	"testing"
+
+	"pjds/internal/core"
+	"pjds/internal/matgen"
+)
+
+// BenchmarkCGLaplacian measures a full CG solve on the 2D Laplacian,
+// CRS vs permuted-pJDS operator — the end-to-end cost the paper's
+// permute-once argument (§II-A) is about.
+func BenchmarkCGLaplacian(b *testing.B) {
+	m := matgen.Stencil2D(60, 60)
+	n := m.NRows
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.Run("CRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, n)
+			if _, err := CG(CSROperator{M: m}, x, rhs, 1e-8, 5000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pJDS-permuted", func(b *testing.B) {
+		op, err := NewPermutedPJDS(m, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bp := op.Enter(make([]float64, n), rhs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			xp := make([]float64, n)
+			if _, err := CG(op, xp, bp, 1e-8, 5000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkLanczos(b *testing.B) {
+	m := matgen.Stencil2D(50, 50)
+	op := CSROperator{M: m}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lanczos(op, 40, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pjds/internal/matgen"
+)
+
+func TestBiCGSTABManufacturedSolution(t *testing.T) {
+	m := nonsymmetric(400, 11)
+	op := CSROperator{M: m}
+	want := make([]float64, 400)
+	for i := range want {
+		want[i] = 1 + math.Sin(0.03*float64(i))
+	}
+	b := make([]float64, 400)
+	if err := m.MulVec(b, want); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 400)
+	res, err := BiCGSTAB(op, x, b, 1e-12, 4000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want %g (iters %d)", i, x[i], want[i], res.Iterations)
+		}
+	}
+	if len(res.History) == 0 {
+		t.Error("no residual history")
+	}
+}
+
+func TestBiCGSTABAgreesWithGMRES(t *testing.T) {
+	m := nonsymmetric(250, 12)
+	op := CSROperator{M: m}
+	b := make([]float64, 250)
+	for i := range b {
+		b[i] = float64(i%4) - 1.5
+	}
+	xb := make([]float64, 250)
+	if _, err := BiCGSTAB(op, xb, b, 1e-11, 4000, NewJacobi(m)); err != nil {
+		t.Fatal(err)
+	}
+	xg := make([]float64, 250)
+	if _, err := GMRES(op, xg, b, 30, 1e-11, 4000, NewJacobi(m)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xb {
+		if math.Abs(xb[i]-xg[i]) > 1e-6*(1+math.Abs(xg[i])) {
+			t.Fatalf("solvers disagree at %d: %g vs %g", i, xb[i], xg[i])
+		}
+	}
+}
+
+func TestBiCGSTABOnSPD(t *testing.T) {
+	m := matgen.Stencil2D(25, 25)
+	op := CSROperator{M: m}
+	b := make([]float64, 625)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, 625)
+	if _, err := BiCGSTAB(op, x, b, 1e-10, 5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	ax := make([]float64, 625)
+	if err := m.MulVec(ax, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-7 {
+			t.Fatalf("residual at %d", i)
+		}
+	}
+}
+
+func TestBiCGSTABValidationAndLimits(t *testing.T) {
+	m := matgen.Stencil2D(5, 5)
+	op := CSROperator{M: m}
+	b := make([]float64, 25)
+	if _, err := BiCGSTAB(op, make([]float64, 3), b, 1e-8, 10, nil); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Zero RHS converges instantly.
+	res, err := BiCGSTAB(op, make([]float64, 25), b, 1e-8, 10, nil)
+	if err != nil || res.Iterations != 0 {
+		t.Errorf("zero RHS: %v / %d iters", err, res.Iterations)
+	}
+	// Non-convergence sentinel.
+	b[0] = 1
+	_, err = BiCGSTAB(op, make([]float64, 25), b, 1e-15, 1, nil)
+	if !errors.Is(err, ErrNotConverged) {
+		t.Errorf("want ErrNotConverged, got %v", err)
+	}
+}
+
+// TestBiCGSTABConstantMemoryVsGMRES documents the trade: on a system
+// where GMRES(10) needs many restarts, BiCGSTAB converges with O(1)
+// vectors.
+func TestBiCGSTABConstantMemory(t *testing.T) {
+	m := nonsymmetric(600, 13)
+	op := CSROperator{M: m}
+	b := make([]float64, 600)
+	for i := range b {
+		b[i] = math.Cos(float64(i))
+	}
+	x := make([]float64, 600)
+	res, err := BiCGSTAB(op, x, b, 1e-10, 2000, NewJacobi(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 600 {
+		t.Errorf("BiCGSTAB needed %d iterations on a dominant system", res.Iterations)
+	}
+}

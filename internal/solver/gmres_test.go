@@ -1,0 +1,194 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pjds/internal/matgen"
+	"pjds/internal/matrix"
+)
+
+// nonsymmetric builds a diagonally dominant nonsymmetric test system.
+func nonsymmetric(n int, seed int64) *matrix.CSR[float64] {
+	m := matgen.Banded(n, 4, 9, 15, seed)
+	// Break symmetry deterministically and strengthen the diagonal.
+	out := m.Clone()
+	for i := 0; i < out.NRows; i++ {
+		cols, _ := out.Row(i)
+		lo := out.RowPtr[i]
+		for k := range cols {
+			if int(cols[k]) == i {
+				out.Val[lo+k] = 12 + float64(i%5)
+			} else if int(cols[k]) > i {
+				out.Val[lo+k] *= 1.7
+			}
+		}
+	}
+	return out
+}
+
+func TestGMRESManufacturedSolution(t *testing.T) {
+	m := nonsymmetric(400, 1)
+	op := CSROperator{M: m}
+	want := make([]float64, 400)
+	for i := range want {
+		want[i] = math.Sin(0.05 * float64(i))
+	}
+	b := make([]float64, 400)
+	if err := m.MulVec(b, want); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 400)
+	res, err := GMRES(op, x, b, 30, 1e-12, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want %g (iters %d)", i, x[i], want[i], res.Iterations)
+		}
+	}
+	if res.Residual > 1e-10 {
+		t.Errorf("residual %g", res.Residual)
+	}
+}
+
+func TestGMRESMatchesCGOnSPD(t *testing.T) {
+	m := matgen.Stencil2D(20, 20)
+	op := CSROperator{M: m}
+	b := make([]float64, 400)
+	for i := range b {
+		b[i] = 1
+	}
+	xg := make([]float64, 400)
+	if _, err := GMRES(op, xg, b, 50, 1e-11, 10000, nil); err != nil {
+		t.Fatal(err)
+	}
+	xc := make([]float64, 400)
+	if _, err := CG(op, xc, b, 1e-11, 10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xg {
+		if math.Abs(xg[i]-xc[i]) > 1e-6 {
+			t.Fatalf("GMRES and CG disagree at %d: %g vs %g", i, xg[i], xc[i])
+		}
+	}
+}
+
+func TestGMRESJacobiPreconditionerHelps(t *testing.T) {
+	// Badly scaled diagonal: Jacobi should slash the iteration count.
+	n := 300
+	m := nonsymmetric(n, 3).Clone()
+	for i := 0; i < n; i++ {
+		scalerow := 1.0 + 50*float64(i%7)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			m.Val[k] *= scalerow
+		}
+	}
+	op := CSROperator{M: m}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%3) + 1
+	}
+	xPlain := make([]float64, n)
+	plain, errPlain := GMRES(op, xPlain, b, 25, 1e-10, 4000, nil)
+	xJac := make([]float64, n)
+	jac, errJac := GMRES(op, xJac, b, 25, 1e-10, 4000, NewJacobi(m))
+	if errJac != nil {
+		t.Fatalf("preconditioned GMRES failed: %v", errJac)
+	}
+	if errPlain == nil && jac.Iterations >= plain.Iterations {
+		t.Errorf("Jacobi did not help: %d vs %d iterations", jac.Iterations, plain.Iterations)
+	}
+	// Verify the preconditioned solution.
+	ax := make([]float64, n)
+	if err := m.MulVec(ax, xJac); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+			t.Fatalf("residual at %d", i)
+		}
+	}
+}
+
+func TestGMRESOnDLR1Block(t *testing.T) {
+	// The real use case: a (scaled-down) nonsymmetric DLR1 CFD system
+	// solved with Jacobi-preconditioned GMRES.
+	m := matgen.DLR1(0.01, 4)
+	n := m.NRows
+	op := CSROperator{M: m}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = 1 + math.Cos(0.01*float64(i))
+	}
+	b := make([]float64, n)
+	if err := m.MulVec(b, want); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	if _, err := GMRES(op, x, b, 40, 1e-10, 8000, NewJacobi(m)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestGMRESValidation(t *testing.T) {
+	m := matgen.Stencil2D(4, 4)
+	op := CSROperator{M: m}
+	b := make([]float64, 16)
+	if _, err := GMRES(op, make([]float64, 3), b, 10, 1e-8, 100, nil); err == nil {
+		t.Error("bad x size accepted")
+	}
+	if _, err := GMRES(op, make([]float64, 16), b, 0, 1e-8, 100, nil); err == nil {
+		t.Error("restart 0 accepted")
+	}
+	// Zero RHS: immediate convergence.
+	res, err := GMRES(op, make([]float64, 16), b, 10, 1e-8, 100, nil)
+	if err != nil || res.Iterations != 0 {
+		t.Errorf("zero RHS: %v, %d iterations", err, res.Iterations)
+	}
+	// Restart larger than n clamps.
+	b[0] = 1
+	if _, err := GMRES(op, make([]float64, 16), b, 99, 1e-10, 400, nil); err != nil {
+		t.Errorf("restart > n: %v", err)
+	}
+}
+
+func TestGMRESNotConverged(t *testing.T) {
+	m := nonsymmetric(200, 5)
+	op := CSROperator{M: m}
+	b := make([]float64, 200)
+	b[0] = 1
+	_, err := GMRES(op, make([]float64, 200), b, 5, 1e-14, 3, nil)
+	if !errors.Is(err, ErrNotConverged) {
+		t.Errorf("want ErrNotConverged, got %v", err)
+	}
+}
+
+func TestJacobiPreconditioner(t *testing.T) {
+	coo := matrix.NewCOO[float64](3, 3)
+	coo.Add(0, 0, 2)
+	coo.Add(1, 1, 4)
+	coo.Add(2, 0, 1) // zero diagonal at row 2
+	j := NewJacobi(coo.ToCSR())
+	z := make([]float64, 3)
+	if err := j.ApplySolve(z, []float64{2, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if z[0] != 1 || z[1] != 1 || z[2] != 5 {
+		t.Errorf("z = %v", z)
+	}
+	if err := j.ApplySolve(z, []float64{1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	var id IdentityPreconditioner
+	if err := id.ApplySolve(z, []float64{7, 8, 9}); err != nil || z[0] != 7 {
+		t.Error("identity preconditioner")
+	}
+}

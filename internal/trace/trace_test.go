@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"pjds/internal/distmv"
+	"pjds/internal/matgen"
+)
+
+func TestWriteCluster(t *testing.T) {
+	m := matgen.Random(4000, 8, 20, 1)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1 + math.Sin(float64(i))
+	}
+	res, err := distmv.RunSpMVM(m, x, 4, distmv.TaskMode, distmv.Config{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCluster(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON with the expected structure.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 metadata + ≥6 span events.
+	if len(doc.TraceEvents) < 9 {
+		t.Fatalf("only %d events", len(doc.TraceEvents))
+	}
+	var spans, meta int
+	var sawGPU, sawHost bool
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["dur"].(float64) < 0 {
+				t.Error("negative duration")
+			}
+			switch int(e["tid"].(float64)) {
+			case 0:
+				sawHost = true
+			case 1:
+				sawGPU = true
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans < 6 || meta != 3 {
+		t.Errorf("spans=%d meta=%d", spans, meta)
+	}
+	if !sawGPU || !sawHost {
+		t.Error("missing a lane")
+	}
+	if doc.OtherData["nodes"].(float64) != 4 {
+		t.Errorf("otherData: %v", doc.OtherData)
+	}
+}
+
+func TestWriteClusterNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCluster(&buf, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
