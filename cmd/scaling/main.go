@@ -10,12 +10,19 @@
 //	scaling -matrix uhbr -format pjds
 //	scaling -timeline -matrix dlr1 -timelinenodes 8
 //	scaling -breakdown -matrix dlr1 -timelinenodes 16
-//	scaling -trace out.json -matrix dlr1
+//	scaling -trace-out out.json -matrix dlr1
 //	scaling -weak -matrix dlr1 -basescale 0.03
 //	scaling -ablations -matrix dlr1
+//
+// Observability: -metrics-out dumps the process-wide telemetry
+// registry after the run (Prometheus text, or JSON for .json paths),
+// -metrics-addr serves /metrics, /metrics.json, /debug/vars and
+// /debug/pprof live while the run executes, and -trace-out writes a
+// Chrome trace of every rank's comm, GPU and solver lanes.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,7 +31,11 @@ import (
 	"strings"
 
 	"pjds/internal/distmv"
+	"pjds/internal/distsolver"
 	"pjds/internal/experiments"
+	"pjds/internal/mpi"
+	"pjds/internal/simnet"
+	"pjds/internal/telemetry"
 	"pjds/internal/trace"
 )
 
@@ -46,15 +57,21 @@ func run(args []string, out io.Writer) error {
 		formatArg = fs.String("format", "ellpack-r", "device format: ellpack-r or pjds")
 		timeline  = fs.Bool("timeline", false, "print the Fig. 4 task-mode timeline instead of scaling")
 		tlNodes   = fs.Int("timelinenodes", 8, "node count for -timeline/-breakdown/-trace")
-		breakdown = fs.Bool("breakdown", false, "print the per-phase cost breakdown of one iteration")
-		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of one task-mode iteration to this file")
-		weak      = fs.Bool("weak", false, "run the weak-scaling study instead of Fig. 5's strong scaling")
-		baseScale = fs.Float64("basescale", 0.02, "per-node matrix scale for -weak")
-		ablations = fs.Bool("ablations", false, "run the cluster-side ablations")
-		gpusNode  = fs.Int("gpuspernode", 1, "GPUs per physical node (intra-node traffic uses shared memory)")
+		breakdown  = fs.Bool("breakdown", false, "print the per-phase cost breakdown of one iteration")
+		traceAlias = fs.String("trace", "", "alias for -trace-out")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON of a task-mode run plus a short solver phase, all ranks")
+		weak       = fs.Bool("weak", false, "run the weak-scaling study instead of Fig. 5's strong scaling")
+		baseScale  = fs.Float64("basescale", 0.02, "per-node matrix scale for -weak")
+		ablations  = fs.Bool("ablations", false, "run the cluster-side ablations")
+		gpusNode   = fs.Int("gpuspernode", 1, "GPUs per physical node (intra-node traffic uses shared memory)")
+		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
+		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOut == "" {
+		*traceOut = *traceAlias
 	}
 
 	format := distmv.FormatELLPACKR
@@ -66,47 +83,68 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown format %q", *formatArg)
 	}
 
-	switch {
-	case *breakdown:
-		return runBreakdown(out, *matrixArg, *scale, *tlNodes, format, *gpusNode)
-	case *timeline:
-		_, err := experiments.RunFig4Timeline(*matrixArg, *scale, *tlNodes, out)
-		return err
-	case *traceOut != "":
-		return runTrace(out, *traceOut, *matrixArg, *scale, *tlNodes, format)
-	case *ablations:
-		if _, err := experiments.AblationMPIProgress(*matrixArg, *scale, 8, out); err != nil {
+	if *metricsAdr != "" {
+		srv, err := telemetry.Serve(*metricsAdr, telemetry.Default())
+		if err != nil {
 			return err
 		}
-		if _, err := experiments.AblationOccupancy(*matrixArg, *scale, 8, out); err != nil {
-			return err
-		}
-		_, err := experiments.AblationPartition(*scale, 8, out)
-		return err
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", srv.Addr)
 	}
 
-	nodes, err := parseNodes(*nodesArg, *matrixArg)
-	if err != nil {
-		return err
-	}
-	if *weak {
-		_, err := experiments.RunWeakScaling(experiments.WeakConfig{
+	dispatch := func() error {
+		switch {
+		case *breakdown:
+			return runBreakdown(out, *matrixArg, *scale, *tlNodes, format, *gpusNode)
+		case *timeline:
+			_, err := experiments.RunFig4Timeline(*matrixArg, *scale, *tlNodes, out)
+			return err
+		case *traceOut != "":
+			return runTrace(out, *traceOut, *matrixArg, *scale, *tlNodes, format)
+		case *ablations:
+			if _, err := experiments.AblationMPIProgress(*matrixArg, *scale, 8, out); err != nil {
+				return err
+			}
+			if _, err := experiments.AblationOccupancy(*matrixArg, *scale, 8, out); err != nil {
+				return err
+			}
+			_, err := experiments.AblationPartition(*scale, 8, out)
+			return err
+		}
+
+		nodes, err := parseNodes(*nodesArg, *matrixArg)
+		if err != nil {
+			return err
+		}
+		if *weak {
+			_, err := experiments.RunWeakScaling(experiments.WeakConfig{
+				Matrix:     *matrixArg,
+				BaseScale:  *baseScale,
+				Nodes:      nodes,
+				Iterations: *iters,
+				Format:     format,
+			}, out)
+			return err
+		}
+		_, err = experiments.RunFig5(experiments.Fig5Config{
 			Matrix:     *matrixArg,
-			BaseScale:  *baseScale,
+			Scale:      *scale,
 			Nodes:      nodes,
 			Iterations: *iters,
 			Format:     format,
 		}, out)
 		return err
 	}
-	_, err = experiments.RunFig5(experiments.Fig5Config{
-		Matrix:     *matrixArg,
-		Scale:      *scale,
-		Nodes:      nodes,
-		Iterations: *iters,
-		Format:     format,
-	}, out)
-	return err
+	if err := dispatch(); err != nil {
+		return err
+	}
+	if *metricsOut != "" {
+		if err := telemetry.Default().WriteFile(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics to %s\n", *metricsOut)
+	}
+	return nil
 }
 
 // runBreakdown prints the per-phase costs of one iteration per mode.
@@ -134,8 +172,10 @@ func runBreakdown(out io.Writer, name string, scale float64, nodes int, format d
 	return nil
 }
 
-// runTrace writes a Chrome trace-event file for one task-mode
-// iteration.
+// runTrace writes a Chrome trace-event file covering every rank: a
+// task-mode spMVM run (comm and GPU lanes), followed by a short
+// distributed power-iteration phase (solver lane) stitched onto the
+// end of the same timeline.
 func runTrace(out io.Writer, path, name string, scale float64, nodes int, format distmv.FormatKind) error {
 	m, err := experiments.Matrix(name, scale)
 	if err != nil {
@@ -145,15 +185,59 @@ func runTrace(out io.Writer, path, name string, scale float64, nodes int, format
 	for i := range x {
 		x[i] = 1
 	}
-	res, err := distmv.RunSpMVM(m, x, nodes, distmv.TaskMode, distmv.Config{Iterations: 1, Format: format})
+	spans := telemetry.NewSpanLog()
+	cfg := distmv.Config{Iterations: 1, Format: format, Spans: spans}
+	res, err := distmv.RunSpMVM(m, x, nodes, distmv.TaskMode, cfg)
 	if err != nil {
 		return err
+	}
+
+	// Solver phase: a few power-iteration steps per rank, recorded on
+	// a fresh clock and appended after the benchmark loop.
+	pt, err := distmv.PartitionByNnz(m, nodes)
+	if err != nil {
+		return err
+	}
+	problems, err := distmv.Distribute(m, pt)
+	if err != nil {
+		return err
+	}
+	solverSpans := telemetry.NewSpanLog()
+	_, err = mpi.Run(nodes, simnet.QDRInfiniBand(), func(c *mpi.Comm) error {
+		inst := &distsolver.Instrument{Spans: solverSpans}
+		_, err := distsolver.PowerIteration(c, problems[c.Rank()], nil, 0, 5, inst)
+		if err != nil && !errors.Is(err, distsolver.ErrNotConverged) {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	spans.AppendShifted(solverSpans, spans.MaxEnd())
+
+	meta := trace.Meta{
+		Processes: map[int]string{},
+		LaneNames: map[string]string{
+			"host":   "host thread 0 (MPI)",
+			"gpu":    "GPU stream",
+			"solver": "solver",
+		},
+		Other: map[string]any{
+			"nodes":          res.P,
+			"iterations":     res.Iterations,
+			"gflops":         res.GFlops,
+			"perIterSeconds": res.PerIterSeconds,
+		},
+	}
+	for r := 0; r < nodes; r++ {
+		meta.Processes[r] = fmt.Sprintf("rank %d (%s, %s, P=%d)", r, res.Mode, res.Format, res.P)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := trace.WriteCluster(f, res); err != nil {
+	if err := trace.WriteSpans(f, spans.Spans(), meta); err != nil {
 		f.Close()
 		return err
 	}

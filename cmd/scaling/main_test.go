@@ -76,3 +76,60 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Error("bad node list accepted")
 	}
 }
+
+// TestRunTraceOutAllLanes is the acceptance check for -trace-out: one
+// run must yield a valid Chrome trace containing comm, gpu AND solver
+// events for every rank, plus -metrics-out must produce a parseable
+// telemetry snapshot.
+func TestRunTraceOutAllLanes(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	const nodes = 3
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-trace-out", tracePath, "-metrics-out", metricsPath,
+		"-matrix", "dlr1", "-scale", "0.01", "-timelinenodes", "3",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	cats := map[int]map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e["ph"] != "X" {
+			continue
+		}
+		pid := int(e["pid"].(float64))
+		if cats[pid] == nil {
+			cats[pid] = map[string]bool{}
+		}
+		cats[pid][e["cat"].(string)] = true
+	}
+	for r := 0; r < nodes; r++ {
+		for _, cat := range []string{"comm", "gpu", "solver"} {
+			if !cats[r][cat] {
+				t.Errorf("rank %d: no %q events in trace", r, cat)
+			}
+		}
+	}
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatalf("invalid metrics JSON: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Error("metrics snapshot is empty")
+	}
+}

@@ -10,15 +10,24 @@
 //	spmvbench -fig2 -matrix sAMG [-scale 0.1]
 //	spmvbench -outlook [-scale 0.1]
 //	spmvbench -ablations [-matrix sAMG] [-scale 0.05]
+//
+// Observability: -json writes the Table I measurements as a
+// machine-readable benchmark file, -metrics-out dumps the process-wide
+// telemetry registry after the run (Prometheus text, or JSON for .json
+// paths), and -metrics-addr serves /metrics, /metrics.json,
+// /debug/vars and /debug/pprof live while the run executes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"pjds/internal/experiments"
+	"pjds/internal/gpu"
+	"pjds/internal/telemetry"
 )
 
 func main() {
@@ -36,18 +45,39 @@ func run(args []string, out io.Writer) error {
 		table1    = fs.Bool("table1", false, "reproduce Table I")
 		fig2      = fs.Bool("fig2", false, "quantify Fig. 2 on -matrix")
 		ablations = fs.Bool("ablations", false, "run the DESIGN.md format/model ablations")
-		outlook   = fs.Bool("outlook", false, "run the §IV outlook format comparison (pJDS vs sliced ELLPACK/ELLR-T/BELLPACK/CSR)")
-		matrixArg = fs.String("matrix", "sAMG", "matrix for -fig2/-ablations: DLR1, DLR2, HMEp, sAMG, UHBR")
+		outlook    = fs.Bool("outlook", false, "run the §IV outlook format comparison (pJDS vs sliced ELLPACK/ELLR-T/BELLPACK/CSR)")
+		matrixArg  = fs.String("matrix", "sAMG", "matrix for -fig2/-ablations: DLR1, DLR2, HMEp, sAMG, UHBR")
+		jsonOut    = fs.String("json", "", "write the Table I measurements as machine-readable JSON to this file (implies -table1)")
+		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
+		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *jsonOut != "" {
+		*table1 = true
+	}
 	if !*table1 && !*fig2 && !*ablations && !*outlook {
 		*table1 = true
 	}
-	if *table1 {
-		if _, err := experiments.RunTable1(*scale, out); err != nil {
+	if *metricsAdr != "" {
+		srv, err := telemetry.Serve(*metricsAdr, telemetry.Default())
+		if err != nil {
 			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *table1 {
+		res, err := experiments.RunTable1(*scale, out)
+		if err != nil {
+			return err
+		}
+		if *jsonOut != "" {
+			if err := writeBenchJSON(*jsonOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonOut)
 		}
 	}
 	if *fig2 {
@@ -73,5 +103,76 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if *metricsOut != "" {
+		if err := telemetry.Default().WriteFile(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics to %s\n", *metricsOut)
+	}
 	return nil
+}
+
+// benchEntry is one (matrix, format, precision, ecc) measurement of
+// the machine-readable benchmark output.
+type benchEntry struct {
+	Matrix       string  `json:"matrix"`
+	Format       string  `json:"format"`
+	Precision    string  `json:"precision"`
+	ECC          bool    `json:"ecc"`
+	GFlops       float64 `json:"gflops"`
+	BandwidthGBs float64 `json:"bandwidthGBs"`
+	CodeBalance  float64 `json:"codeBalance"`
+	Alpha        float64 `json:"alpha"`
+}
+
+// writeBenchJSON renders a Table I result as the pjds-bench/v1 schema:
+// one entry per (matrix, format, precision, ecc) cell, with the
+// derived memory bandwidth alongside the paper's model quantities.
+// Entry order follows the table's fixed layout, so output is
+// deterministic.
+func writeBenchJSON(path string, res *experiments.Table1Result) error {
+	doc := struct {
+		Schema  string       `json:"schema"`
+		Scale   float64      `json:"scale"`
+		Device  string       `json:"device"`
+		Entries []benchEntry `json:"entries"`
+	}{Schema: "pjds-bench/v1", Scale: res.Scale, Entries: []benchEntry{}}
+	entry := func(matrix, format, precision string, ecc bool, st gpu.KernelStats) benchEntry {
+		e := benchEntry{
+			Matrix: matrix, Format: format, Precision: precision, ECC: ecc,
+			GFlops:      st.GFlops,
+			CodeBalance: st.CodeBalance,
+			Alpha:       st.Alpha,
+		}
+		if st.KernelSeconds > 0 {
+			e.BandwidthGBs = float64(st.BytesTotal) / st.KernelSeconds / 1e9
+		}
+		return e
+	}
+	for _, r := range res.Rows {
+		if doc.Device == "" {
+			doc.Device = r.DP.ECCOn.ELLPACKR.Stats.Device
+		}
+		doc.Entries = append(doc.Entries,
+			entry(r.Matrix, "ELLPACK-R", "SP", false, r.SP.ECCOff.ELLPACKR.Stats),
+			entry(r.Matrix, "pJDS", "SP", false, r.SP.ECCOff.PJDS.Stats),
+			entry(r.Matrix, "ELLPACK-R", "SP", true, r.SP.ECCOn.ELLPACKR.Stats),
+			entry(r.Matrix, "pJDS", "SP", true, r.SP.ECCOn.PJDS.Stats),
+			entry(r.Matrix, "ELLPACK-R", "DP", false, r.DP.ECCOff.ELLPACKR.Stats),
+			entry(r.Matrix, "pJDS", "DP", false, r.DP.ECCOff.PJDS.Stats),
+			entry(r.Matrix, "ELLPACK-R", "DP", true, r.DP.ECCOn.ELLPACKR.Stats),
+			entry(r.Matrix, "pJDS", "DP", true, r.DP.ECCOn.PJDS.Stats),
+		)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

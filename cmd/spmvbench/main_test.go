@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,5 +44,52 @@ func TestRunFig2AndOutlook(t *testing.T) {
 func TestRunUnknownMatrix(t *testing.T) {
 	if err := run([]string{"-fig2", "-matrix", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown matrix accepted")
+	}
+}
+
+// TestRunJSONBench checks the machine-readable benchmark output:
+// pjds-bench/v1 schema, 8 entries per Table I matrix, positive GF/s and
+// derived bandwidth, and a telemetry dump alongside.
+func TestRunJSONBench(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.01", "-json", benchPath, "-metrics-out", metricsPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Scale   float64
+		Device  string
+		Entries []benchEntry
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid bench JSON: %v", err)
+	}
+	if doc.Schema != "pjds-bench/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.Device == "" {
+		t.Error("no device recorded")
+	}
+	if len(doc.Entries) == 0 || len(doc.Entries)%8 != 0 {
+		t.Fatalf("%d entries, want a positive multiple of 8", len(doc.Entries))
+	}
+	for _, e := range doc.Entries {
+		if e.GFlops <= 0 || e.BandwidthGBs <= 0 || e.CodeBalance <= 0 {
+			t.Errorf("degenerate entry %+v", e)
+		}
+	}
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "gpu_kernel_gflops") {
+		t.Error("metrics dump missing gpu_kernel_gflops")
 	}
 }

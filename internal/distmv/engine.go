@@ -3,9 +3,11 @@ package distmv
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"pjds/internal/matrix"
 	"pjds/internal/mpi"
+	"pjds/internal/telemetry"
 )
 
 // RunSpMVM executes y = A·x on p simulated GPU nodes under the given
@@ -53,7 +55,13 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 	if ranksPerNode < 1 {
 		ranksPerNode = 1
 	}
-	_, err = mpi.RunWithTopology(p, cfg.Fabric, ranksPerNode, cfg.IntraNodeFabric, func(c *mpi.Comm) error {
+	reg := cfg.Telemetry
+	reg.Help("distmv_rank_local_rows", "rows owned by the rank")
+	reg.Help("distmv_rank_halo_elems", "RHS elements received from other ranks per iteration")
+	reg.Help("distmv_rank_send_elems", "RHS elements sent to other ranks per iteration")
+	reg.Help("distmv_rank_neighbors", "ranks this rank exchanges halos with")
+	opts := mpi.Options{RanksPerNode: ranksPerNode, Intra: cfg.IntraNodeFabric, Metrics: reg}
+	_, err = mpi.RunWithOptions(p, cfg.Fabric, opts, func(c *mpi.Comm) error {
 		rp := problems[c.Rank()]
 		nloc := rp.LocalRows()
 
@@ -63,16 +71,25 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 		for s, col := range rp.HaloCols {
 			xExt[nloc+s] = x[col]
 		}
-		prof, err := rp.Profile(cfg.Device, cfg.Format, xExt)
+		prof, err := rp.Profile(cfg.Device, cfg.Format, xExt, reg)
 		if err != nil {
 			return err
 		}
+		rl := telemetry.Li("rank", c.Rank())
+		reg.Gauge("distmv_rank_local_rows", rl).Set(float64(nloc))
+		reg.Gauge("distmv_rank_halo_elems", rl).Set(float64(rp.HaloSize()))
+		reg.Gauge("distmv_rank_send_elems", rl).Set(float64(rp.SendElems()))
+		reg.Gauge("distmv_rank_neighbors", rl).Set(float64(rp.Neighbors()))
 
-		it := &iterState{c: c, rp: rp, prof: prof, cfg: cfg, x: xExt[:nloc], want: xExt[nloc:]}
+		it := &iterState{
+			c: c, rp: rp, prof: prof, cfg: cfg, x: xExt[:nloc], want: xExt[nloc:],
+			mode: mode, spans: cfg.Spans,
+		}
 
 		c.Barrier()
 		start := c.Clock()
 		for n := 0; n < cfg.Iterations; n++ {
+			it.iter = n
 			recordEvents := c.Rank() == 0 && n == 0
 			var events []Event
 			switch mode {
@@ -120,6 +137,19 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 	if totalSeconds > 0 {
 		res.GFlops = 2 * float64(res.GlobalNnz) * float64(cfg.Iterations) / totalSeconds / 1e9
 	}
+	runLbl := []telemetry.Label{
+		telemetry.L("mode", mode.Slug()),
+		telemetry.L("format", cfg.Format.String()),
+		telemetry.Li("ranks", p),
+	}
+	reg.Help("distmv_runs_total", "distributed spMVM benchmark runs")
+	reg.Counter("distmv_runs_total", runLbl...).Inc()
+	reg.Help("distmv_iterations_total", "timed spMVM iterations executed")
+	reg.Counter("distmv_iterations_total", runLbl...).Add(float64(cfg.Iterations))
+	reg.Help("distmv_gflops", "aggregate useful GF/s of the last run (Fig. 5)")
+	reg.Gauge("distmv_gflops", runLbl...).Set(res.GFlops)
+	reg.Help("distmv_per_iter_seconds", "virtual wallclock per spMVM iteration of the last run")
+	reg.Gauge("distmv_per_iter_seconds", runLbl...).Set(res.PerIterSeconds)
 	return res, nil
 }
 
@@ -132,6 +162,41 @@ type iterState struct {
 	cfg  Config
 	x    []float64 // this rank's local x values
 	want []float64 // expected halo values, for verification
+	mode Mode
+	// spans (nil = off) collects every rank's phase spans; iter is the
+	// current timed iteration, stamped into each span's args.
+	spans *telemetry.SpanLog
+	iter  int
+}
+
+// laneCat maps a timeline lane to its trace category: the host lane
+// carries communication work, the gpu lane kernel and PCIe work.
+func laneCat(lane string) string {
+	if lane == "gpu" {
+		return "gpu"
+	}
+	return "comm"
+}
+
+// emit records e into the run's span log (when attached) with the
+// rank, category, and iteration context the Fig. 4 Event type omits.
+func (s *iterState) emit(e Event) {
+	if s.spans == nil {
+		return
+	}
+	s.spans.Add(telemetry.Span{
+		Proc:  s.c.Rank(),
+		Lane:  e.Lane,
+		Cat:   laneCat(e.Lane),
+		Name:  e.Name,
+		Start: e.Start,
+		End:   e.End,
+		Args: map[string]string{
+			"iteration": strconv.Itoa(s.iter),
+			"mode":      s.mode.Slug(),
+			"format":    s.cfg.Format.String(),
+		},
+	})
 }
 
 // gatherSeconds models the "local gather" of Fig. 4: packing the
@@ -187,11 +252,13 @@ func (s *iterState) absorbHalo(recvs []*mpi.Request) error {
 	return nil
 }
 
-// span runs f and returns a named event covering its virtual duration.
-func span(c *mpi.Comm, lane, name string, f func()) Event {
-	e := Event{Lane: lane, Name: name, Start: c.Clock()}
+// span runs f, logs the covered virtual duration as a telemetry span,
+// and returns it as a named Fig. 4 event.
+func (s *iterState) span(lane, name string, f func()) Event {
+	e := Event{Lane: lane, Name: name, Start: s.c.Clock()}
 	f()
-	e.End = c.Clock()
+	e.End = s.c.Clock()
+	s.emit(e)
 	return e
 }
 
@@ -205,11 +272,11 @@ func (s *iterState) vectorMode(n int, record bool) ([]Event, error) {
 			ev = append(ev, e)
 		}
 	}
-	add(span(c, "host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
+	add(s.span("host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
 	var recvs, sends []*mpi.Request
-	add(span(c, "host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
+	add(s.span("host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
 	var err error
-	add(span(c, "host", "MPI_Waitall", func() {
+	add(s.span("host", "MPI_Waitall", func() {
 		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
 		err = s.absorbHalo(recvs)
 	}))
@@ -217,11 +284,11 @@ func (s *iterState) vectorMode(n int, record bool) ([]Event, error) {
 		return nil, err
 	}
 	nloc := s.rp.LocalRows()
-	add(span(c, "gpu", "upload RHS", func() {
+	add(s.span("gpu", "upload RHS", func() {
 		c.Advance(link.TransferSeconds(int64(8 * (nloc + s.rp.HaloSize()))))
 	}))
-	add(span(c, "gpu", "spMVM", func() { c.Advance(s.prof.Merged.KernelSeconds) }))
-	add(span(c, "gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	add(s.span("gpu", "spMVM", func() { c.Advance(s.prof.Merged.KernelSeconds) }))
+	add(s.span("gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
 	return ev, nil
 }
 
@@ -236,23 +303,23 @@ func (s *iterState) naiveOverlap(n int, record bool) ([]Event, error) {
 			ev = append(ev, e)
 		}
 	}
-	add(span(c, "host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
+	add(s.span("host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
 	var recvs, sends []*mpi.Request
-	add(span(c, "host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
+	add(s.span("host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
 	nloc := s.rp.LocalRows()
-	add(span(c, "gpu", "upload RHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
-	add(span(c, "gpu", "local spMVM", func() { c.Advance(s.prof.Local.KernelSeconds) }))
+	add(s.span("gpu", "upload RHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	add(s.span("gpu", "local spMVM", func() { c.Advance(s.prof.Local.KernelSeconds) }))
 	var err error
-	add(span(c, "host", "MPI_Waitall", func() {
+	add(s.span("host", "MPI_Waitall", func() {
 		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
 		err = s.absorbHalo(recvs)
 	}))
 	if err != nil {
 		return nil, err
 	}
-	add(span(c, "gpu", "upload halo", func() { c.Advance(link.TransferSeconds(int64(8 * s.rp.HaloSize()))) }))
-	add(span(c, "gpu", "non-local spMVM", func() { c.Advance(s.prof.NonLocal.KernelSeconds) }))
-	add(span(c, "gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	add(s.span("gpu", "upload halo", func() { c.Advance(link.TransferSeconds(int64(8 * s.rp.HaloSize()))) }))
+	add(s.span("gpu", "non-local spMVM", func() { c.Advance(s.prof.NonLocal.KernelSeconds) }))
+	add(s.span("gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
 	return ev, nil
 }
 
@@ -271,11 +338,11 @@ func (s *iterState) taskMode(n int, record bool) ([]Event, error) {
 	// Communication thread: gather, post, and immediately drive the
 	// transfers to completion (this is what the dedicated thread is
 	// for — reliably asynchronous communication).
-	add(span(c, "host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
+	add(s.span("host", "local gather", func() { c.Advance(s.gatherSeconds()) }))
 	var recvs, sends []*mpi.Request
-	add(span(c, "host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
+	add(s.span("host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
 	var err error
-	add(span(c, "host", "MPI_Waitall", func() {
+	add(s.span("host", "MPI_Waitall", func() {
 		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
 		err = s.absorbHalo(recvs)
 	}))
@@ -287,19 +354,20 @@ func (s *iterState) taskMode(n int, record bool) ([]Event, error) {
 	nloc := s.rp.LocalRows()
 	up := link.TransferSeconds(int64(8 * nloc))
 	gpuDone := t0 + up + s.prof.Local.KernelSeconds
+	upEv := Event{Lane: "gpu", Name: "upload RHS", Start: t0, End: t0 + up}
+	locEv := Event{Lane: "gpu", Name: "local spMVM", Start: t0 + up, End: gpuDone}
+	s.emit(upEv)
+	s.emit(locEv)
 	if record {
-		ev = append(ev,
-			Event{Lane: "gpu", Name: "upload RHS", Start: t0, End: t0 + up},
-			Event{Lane: "gpu", Name: "local spMVM", Start: t0 + up, End: gpuDone},
-		)
+		ev = append(ev, upEv, locEv)
 	}
 	// Join: the non-local part needs both the halo and the GPU.
 	if gpuDone > c.Clock() {
 		c.SetClock(gpuDone)
 	}
-	add(span(c, "gpu", "upload halo", func() { c.Advance(link.TransferSeconds(int64(8 * s.rp.HaloSize()))) }))
-	add(span(c, "gpu", "non-local spMVM", func() { c.Advance(s.prof.NonLocal.KernelSeconds) }))
-	add(span(c, "gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
+	add(s.span("gpu", "upload halo", func() { c.Advance(link.TransferSeconds(int64(8 * s.rp.HaloSize()))) }))
+	add(s.span("gpu", "non-local spMVM", func() { c.Advance(s.prof.NonLocal.KernelSeconds) }))
+	add(s.span("gpu", "download LHS", func() { c.Advance(link.TransferSeconds(int64(8 * nloc))) }))
 	return ev, nil
 }
 

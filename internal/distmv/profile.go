@@ -8,6 +8,7 @@ import (
 	"pjds/internal/formats"
 	"pjds/internal/gpu"
 	"pjds/internal/matrix"
+	"pjds/internal/telemetry"
 )
 
 // FormatKind selects the device storage format of the distributed
@@ -50,8 +51,10 @@ type RankProfile struct {
 // the extended RHS xExt = [local x | halo x], returning functional
 // results and timing. The merged single-step kernel is rebuilt, run
 // and discarded; its result must agree with local+non-local, which is
-// asserted here as an internal consistency check.
-func (rp *RankProblem) Profile(dev *gpu.Device, kind FormatKind, xExt []float64) (*RankProfile, error) {
+// asserted here as an internal consistency check. Kernel statistics
+// are published into reg (nil selects telemetry.Default()) labelled by
+// rank and phase, so concurrent ranks never share a gauge series.
+func (rp *RankProblem) Profile(dev *gpu.Device, kind FormatKind, xExt []float64, reg *telemetry.Registry) (*RankProfile, error) {
 	nloc := rp.LocalRows()
 	if len(xExt) != nloc+rp.HaloSize() {
 		return nil, fmt.Errorf("distmv: rank %d xExt length %d, want %d", rp.Rank, len(xExt), nloc+rp.HaloSize())
@@ -60,17 +63,26 @@ func (rp *RankProblem) Profile(dev *gpu.Device, kind FormatKind, xExt []float64)
 	xHalo := xExt[nloc:]
 	prof := &RankProfile{Y: make([]float64, nloc)}
 
-	runOne := func(m *matrix.CSR[float64], x, y []float64, acc bool) (*gpu.KernelStats, error) {
+	runOne := func(phase string, m *matrix.CSR[float64], x, y []float64, acc bool) (*gpu.KernelStats, error) {
+		opt := gpu.RunOptions{
+			Accumulate: acc,
+			Metrics:    reg,
+			MetricLabels: []telemetry.Label{
+				telemetry.Li("rank", rp.Rank),
+				telemetry.L("phase", phase),
+			},
+		}
 		switch kind {
 		case FormatELLPACKR:
-			return gpu.RunELLPACKR(dev, formats.NewELLPACKR(m), y, x, gpu.RunOptions{Accumulate: acc})
+			return gpu.RunELLPACKR(dev, formats.NewELLPACKR(m), y, x, opt)
 		case FormatPJDS:
 			p, err := core.NewPJDS(m, core.Options{})
 			if err != nil {
 				return nil, err
 			}
 			yp := make([]float64, m.NRows)
-			st, err := gpu.RunPJDS(dev, p, yp, x, gpu.RunOptions{})
+			opt.Accumulate = false
+			st, err := gpu.RunPJDS(dev, p, yp, x, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -90,16 +102,16 @@ func (rp *RankProblem) Profile(dev *gpu.Device, kind FormatKind, xExt []float64)
 	}
 
 	var err error
-	if prof.Local, err = runOne(rp.Local, xLoc, prof.Y, false); err != nil {
+	if prof.Local, err = runOne("local", rp.Local, xLoc, prof.Y, false); err != nil {
 		return nil, fmt.Errorf("distmv: rank %d local kernel: %w", rp.Rank, err)
 	}
-	if prof.NonLocal, err = runOne(rp.NonLocal, xHalo, prof.Y, true); err != nil {
+	if prof.NonLocal, err = runOne("non-local", rp.NonLocal, xHalo, prof.Y, true); err != nil {
 		return nil, fmt.Errorf("distmv: rank %d non-local kernel: %w", rp.Rank, err)
 	}
 
 	merged := rp.MergedSlice()
 	yMerged := make([]float64, nloc)
-	if prof.Merged, err = runOne(merged, xExt, yMerged, false); err != nil {
+	if prof.Merged, err = runOne("merged", merged, xExt, yMerged, false); err != nil {
 		return nil, fmt.Errorf("distmv: rank %d merged kernel: %w", rp.Rank, err)
 	}
 	for i := range yMerged {

@@ -7,6 +7,7 @@ import (
 	"pjds/internal/matrix"
 	"pjds/internal/pcie"
 	"pjds/internal/simnet"
+	"pjds/internal/telemetry"
 )
 
 // Mode selects the §III-A communication scheme.
@@ -45,6 +46,21 @@ func (m Mode) String() string {
 	}
 }
 
+// Slug returns the short machine-readable mode name used as a
+// telemetry label value.
+func (m Mode) Slug() string {
+	switch m {
+	case VectorMode:
+		return "vector"
+	case NaiveOverlap:
+		return "naive-overlap"
+	case TaskMode:
+		return "task"
+	default:
+		return fmt.Sprintf("mode-%d", int(m))
+	}
+}
+
 // Config parameterizes a distributed run.
 type Config struct {
 	Device *gpu.Device
@@ -69,9 +85,22 @@ type Config struct {
 	// Partitioner overrides the row-block partitioning strategy
 	// (nil = PartitionByNnz, the load-balanced choice of [4]).
 	Partitioner func(*matrix.CSR[float64], int) (Partition, error)
+	// Telemetry receives the run's metrics: per-rank kernel model
+	// quantities (labelled by rank and phase), message-passing and
+	// wire traffic, halo structure, and run-level performance. Nil
+	// selects telemetry.Default().
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil, receives the per-rank, per-lane phase
+	// spans of every timed iteration on every rank — the generalized
+	// form of Result.Timeline (which keeps only rank 0's first
+	// iteration) consumed by the internal/trace exporter.
+	Spans *telemetry.SpanLog
 }
 
 func (c Config) withDefaults() Config {
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default()
+	}
 	if c.Device == nil {
 		c.Device = gpu.TeslaC2050()
 	}

@@ -1,0 +1,159 @@
+package distmv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pjds/internal/gpu"
+	"pjds/internal/telemetry"
+)
+
+// runInstrumented executes one TaskMode run with a fresh registry and
+// span log and returns all three.
+func runInstrumented(t *testing.T, iters int) (*Result, *telemetry.Registry, *telemetry.SpanLog) {
+	t.Helper()
+	m := testMatrix(t)
+	x := testVec(m.NCols)
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanLog()
+	res, err := RunSpMVM(m, x, 3, TaskMode, Config{
+		Iterations: iters, Telemetry: reg, Spans: spans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reg, spans
+}
+
+// TestRunSpMVMTelemetryCrossCheck is the acceptance cross-check: the
+// per-rank, per-phase kernel counters must equal the RankProfile stats
+// the run reports, and the MPI byte counters must equal the halo
+// structure times the iteration count.
+func TestRunSpMVMTelemetryCrossCheck(t *testing.T) {
+	const iters = 2
+	res, reg, _ := runInstrumented(t, iters)
+
+	for _, rr := range res.Ranks {
+		rl := telemetry.Li("rank", rr.Rank)
+		for phase, st := range map[string]*gpu.KernelStats{
+			"local":     rr.Local,
+			"non-local": rr.NonLocal,
+			"merged":    rr.Merged,
+		} {
+			lbl := []telemetry.Label{
+				telemetry.L("kernel", st.Kernel),
+				telemetry.L("device", st.Device),
+				rl,
+				telemetry.L("phase", phase),
+			}
+			if got := reg.Counter("gpu_kernel_nnz_total", lbl...).Value(); got != float64(st.Nnz) {
+				t.Errorf("rank %d %s: nnz counter %g, stats %d", rr.Rank, phase, got, st.Nnz)
+			}
+			if got := reg.Counter("gpu_kernel_useful_flops_total", lbl...).Value(); got != float64(st.UsefulFlops) {
+				t.Errorf("rank %d %s: flops counter %g, stats %d", rr.Rank, phase, got, st.UsefulFlops)
+			}
+			for stream, want := range map[string]int64{
+				"val": st.BytesVal, "idx": st.BytesIdx, "rhs": st.BytesRHS,
+				"lhs": st.BytesLHS, "meta": st.BytesMeta,
+			} {
+				got := reg.Counter("gpu_kernel_bytes_total",
+					append([]telemetry.Label{telemetry.L("stream", stream)}, lbl...)...).Value()
+				if got != float64(want) {
+					t.Errorf("rank %d %s: bytes{%s} counter %g, stats %d", rr.Rank, phase, stream, got, want)
+				}
+			}
+			if got := reg.Gauge("gpu_kernel_alpha", lbl...).Value(); got != st.Alpha {
+				t.Errorf("rank %d %s: alpha gauge %g, stats %g", rr.Rank, phase, got, st.Alpha)
+			}
+			gf := reg.Gauge("gpu_kernel_gflops", lbl...).Value()
+			if math.Abs(gf-st.GFlops) > 1e-9*math.Abs(st.GFlops) {
+				t.Errorf("rank %d %s: gflops gauge %g, stats %g", rr.Rank, phase, gf, st.GFlops)
+			}
+		}
+
+		// Halo structure gauges and wire traffic.
+		if got := reg.Gauge("distmv_rank_send_elems", rl).Value(); got != float64(rr.SendElems) {
+			t.Errorf("rank %d: send_elems gauge %g, report %d", rr.Rank, got, rr.SendElems)
+		}
+		wantBytes := float64(8 * rr.SendElems * iters)
+		if got := reg.Counter("mpi_send_bytes_total", rl).Value(); got != wantBytes {
+			t.Errorf("rank %d: mpi_send_bytes_total %g, want %g", rr.Rank, got, wantBytes)
+		}
+	}
+
+	// Run-level series.
+	runLbl := []telemetry.Label{
+		telemetry.L("mode", TaskMode.Slug()),
+		telemetry.L("format", res.Format.String()),
+		telemetry.Li("ranks", res.P),
+	}
+	if got := reg.Counter("distmv_iterations_total", runLbl...).Value(); got != float64(iters) {
+		t.Errorf("distmv_iterations_total = %g", got)
+	}
+	if got := reg.Gauge("distmv_gflops", runLbl...).Value(); got != res.GFlops {
+		t.Errorf("distmv_gflops = %g, result %g", got, res.GFlops)
+	}
+}
+
+// TestRunSpMVMSpans checks that every rank contributes spans on both
+// the comm and gpu categories, in every mode, and that span times are
+// sane.
+func TestRunSpMVMSpans(t *testing.T) {
+	m := testMatrix(t)
+	x := testVec(m.NCols)
+	for _, mode := range Modes() {
+		spans := telemetry.NewSpanLog()
+		if _, err := RunSpMVM(m, x, 3, mode, Config{
+			Iterations: 2, Telemetry: telemetry.NewRegistry(), Spans: spans,
+		}); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		seen := map[int]map[string]bool{}
+		for _, s := range spans.Spans() {
+			if s.End < s.Start {
+				t.Errorf("%s: span %q ends before it starts", mode, s.Name)
+			}
+			if seen[s.Proc] == nil {
+				seen[s.Proc] = map[string]bool{}
+			}
+			seen[s.Proc][s.Cat] = true
+			if s.Args["mode"] != mode.Slug() {
+				t.Errorf("%s: span mode arg %q", mode, s.Args["mode"])
+			}
+		}
+		for r := 0; r < 3; r++ {
+			if !seen[r]["comm"] || !seen[r]["gpu"] {
+				t.Errorf("%s: rank %d cats = %v", mode, r, seen[r])
+			}
+		}
+	}
+}
+
+// TestRunSpMVMTelemetryDeterministic runs the same instrumented
+// benchmark twice: both Prometheus dumps and span logs must be
+// byte-identical despite the concurrent rank goroutines.
+func TestRunSpMVMTelemetryDeterministic(t *testing.T) {
+	dump := func() ([]byte, []telemetry.Span) {
+		_, reg, spans := runInstrumented(t, 2)
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), spans.Spans()
+	}
+	b1, s1 := dump()
+	b2, s2 := dump()
+	if !bytes.Equal(b1, b2) {
+		t.Error("Prometheus dumps differ between identical runs")
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("span counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		a, b := s1[i], s2[i]
+		if a.Proc != b.Proc || a.Lane != b.Lane || a.Name != b.Name || a.Start != b.Start || a.End != b.End {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -89,6 +89,10 @@ type Operator struct {
 	// KernelBW is the modelled spMVM memory bandwidth (B/s) used to
 	// advance the virtual clock per application; 0 disables timing.
 	KernelBW float64
+	// Inst (optional) records each application's halo exchange and
+	// spMVM as spans on the rank's solver lane.
+	Inst    *Instrument
+	applies int
 }
 
 // NewOperator builds the distributed operator for one rank.
@@ -101,21 +105,29 @@ func (op *Operator) Dim() int { return op.RP.LocalRows() }
 
 // Apply computes the local slice of y = A·x.
 func (op *Operator) Apply(y, x []float64) error {
-	halo, err := op.Halo.Exchange(x)
+	n := op.applies
+	op.applies++
+	var halo []float64
+	err := op.Inst.spanned(op.c, op.RP.Rank, "comm", "halo exchange", n, func() (err error) {
+		halo, err = op.Halo.Exchange(x)
+		return err
+	})
 	if err != nil {
 		return err
 	}
-	if err := op.RP.Local.MulVec(y, x); err != nil {
-		return err
-	}
-	if err := op.RP.NonLocal.MulVecAdd(y, halo); err != nil {
-		return err
-	}
-	if op.KernelBW > 0 {
-		bytes := float64(12 * (op.RP.Local.Nnz() + op.RP.NonLocal.Nnz()))
-		op.c.Advance(bytes / op.KernelBW)
-	}
-	return nil
+	return op.Inst.spanned(op.c, op.RP.Rank, "gpu", "spMVM", n, func() error {
+		if err := op.RP.Local.MulVec(y, x); err != nil {
+			return err
+		}
+		if err := op.RP.NonLocal.MulVecAdd(y, halo); err != nil {
+			return err
+		}
+		if op.KernelBW > 0 {
+			bytes := float64(12 * (op.RP.Local.Nnz() + op.RP.NonLocal.Nnz()))
+			op.c.Advance(bytes / op.KernelBW)
+		}
+		return nil
+	})
 }
 
 // Dot returns the global dot product of two distributed vectors.

@@ -1,0 +1,55 @@
+package distsolver
+
+import (
+	"strconv"
+
+	"pjds/internal/mpi"
+	"pjds/internal/telemetry"
+)
+
+// Instrument attaches telemetry to a distributed solve: convergence
+// gauges go to Metrics (nil selects telemetry.Default()), and
+// per-exchange / per-iteration spans to Spans (nil disables them).
+// All series carry a rank label, so concurrent rank goroutines never
+// share a gauge series and output stays deterministic.
+type Instrument struct {
+	Metrics *telemetry.Registry
+	Spans   *telemetry.SpanLog
+}
+
+// registry resolves the target registry (Default when unset).
+func (in *Instrument) registry() *telemetry.Registry {
+	if in == nil || in.Metrics == nil {
+		return telemetry.Default()
+	}
+	return in.Metrics
+}
+
+// emit records one span on the rank's solver lane.
+func (in *Instrument) emit(rank int, cat, name string, start, end float64, args map[string]string) {
+	if in == nil || in.Spans == nil {
+		return
+	}
+	in.Spans.Add(telemetry.Span{
+		Proc: rank, Lane: "solver", Cat: cat, Name: name,
+		Start: start, End: end, Args: args,
+	})
+}
+
+// spanned runs f and logs its virtual duration on c's clock.
+func (in *Instrument) spanned(c *mpi.Comm, rank int, cat, name string, iter int, f func() error) error {
+	start := c.Clock()
+	err := f()
+	in.emit(rank, cat, name, start, c.Clock(), map[string]string{"iteration": strconv.Itoa(iter)})
+	return err
+}
+
+// firstInstrument picks the effective instrument from a variadic tail.
+func firstInstrument(inst []*Instrument) *Instrument {
+	for _, in := range inst {
+		if in != nil {
+			return in
+		}
+	}
+	return nil
+}

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"pjds/internal/distmv"
 	"pjds/internal/mpi"
+	"pjds/internal/telemetry"
 )
 
 // ErrNotConverged mirrors the serial solver package's sentinel.
@@ -21,9 +23,21 @@ type CGResult struct {
 // CG solves A·x = b for SPD A across all ranks: x and b hold this
 // rank's rows, the operator exchanges halos internally, and the
 // reductions synchronize the virtual clocks. x is updated in place;
-// every rank returns the same result metadata.
-func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIter int) (CGResult, error) {
+// every rank returns the same result metadata. An optional Instrument
+// records convergence gauges and per-iteration spans.
+func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIter int, inst ...*Instrument) (CGResult, error) {
+	in := firstInstrument(inst)
+	var gIter, gRes *telemetry.Gauge
+	if in != nil {
+		reg := in.registry()
+		lbl := []telemetry.Label{telemetry.L("method", "cg"), telemetry.Li("rank", rp.Rank)}
+		reg.Help("solver_iterations", "iterations completed by the most recent solve")
+		reg.Help("solver_residual", "current convergence measure of the most recent solve")
+		gIter = reg.Gauge("solver_iterations", lbl...)
+		gRes = reg.Gauge("solver_residual", lbl...)
+	}
 	op := NewOperator(rp, c)
+	op.Inst = in
 	n := op.Dim()
 	if len(x) != n || len(b) != n {
 		return CGResult{}, fmt.Errorf("distsolver: CG |x|=%d |b|=%d, own %d rows", len(x), len(b), n)
@@ -48,6 +62,7 @@ func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIte
 			res.Residual = math.Sqrt(rr)
 			return res, nil
 		}
+		t0 := c.Clock()
 		if err := op.Apply(ap, p); err != nil {
 			return res, err
 		}
@@ -67,6 +82,12 @@ func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIte
 		}
 		rr = rrNew
 		res.Iterations++
+		in.emit(rp.Rank, "solver", "CG iteration", t0, c.Clock(),
+			map[string]string{"iteration": strconv.Itoa(res.Iterations)})
+		if gIter != nil {
+			gIter.Set(float64(res.Iterations))
+			gRes.Set(math.Sqrt(rr))
+		}
 	}
 	res.Residual = math.Sqrt(rr)
 	if res.Residual > tol*bnorm {
@@ -85,8 +106,23 @@ type PowerResult struct {
 
 // PowerIteration finds the dominant eigenvalue of the distributed
 // operator; v0 (optional) is this rank's slice of the start vector.
-func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float64, maxIter int) (PowerResult, error) {
+// An optional Instrument records convergence gauges and per-iteration
+// spans.
+func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float64, maxIter int, inst ...*Instrument) (PowerResult, error) {
+	in := firstInstrument(inst)
+	var gIter, gRes, gEig *telemetry.Gauge
+	if in != nil {
+		reg := in.registry()
+		lbl := []telemetry.Label{telemetry.L("method", "power"), telemetry.Li("rank", rp.Rank)}
+		reg.Help("solver_iterations", "iterations completed by the most recent solve")
+		reg.Help("solver_residual", "current convergence measure of the most recent solve")
+		reg.Help("solver_eigenvalue", "current dominant-eigenvalue estimate")
+		gIter = reg.Gauge("solver_iterations", lbl...)
+		gRes = reg.Gauge("solver_residual", lbl...)
+		gEig = reg.Gauge("solver_eigenvalue", telemetry.Li("rank", rp.Rank))
+	}
 	op := NewOperator(rp, c)
+	op.Inst = in
 	n := op.Dim()
 	v := make([]float64, n)
 	if v0 != nil {
@@ -106,6 +142,7 @@ func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float
 	av := make([]float64, n)
 	lambda := 0.0
 	for k := 0; k < maxIter; k++ {
+		t0 := c.Clock()
 		if err := op.Apply(av, v); err != nil {
 			return PowerResult{}, err
 		}
@@ -116,6 +153,13 @@ func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float
 		}
 		for i := range v {
 			v[i] = av[i] / nv
+		}
+		in.emit(rp.Rank, "solver", "power iteration", t0, c.Clock(),
+			map[string]string{"iteration": strconv.Itoa(k + 1)})
+		if gIter != nil {
+			gIter.Set(float64(k + 1))
+			gRes.Set(math.Abs(next - lambda))
+			gEig.Set(next)
 		}
 		if k > 0 && math.Abs(next-lambda) <= tol*math.Abs(next) {
 			return PowerResult{Eigenvalue: next, Iterations: k + 1, Vector: v}, nil

@@ -106,5 +106,6 @@ func RunBELLPACK[T matrix.Float](d *Device, e *formats.BELLPACK[T], y, x []T, op
 		storeResult(y, sum, wbase, e.N, opt.Accumulate)
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }

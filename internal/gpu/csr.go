@@ -93,6 +93,7 @@ func RunCSRScalar[T matrix.Float](d *Device, m *matrix.CSR[T], y, x []T, opt Run
 		st.BytesLHS += lhsBytes(&lhsSegs, wbase, hi, es, segShift, segBytes, opt.Accumulate)
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }
 
@@ -164,5 +165,6 @@ func RunCSRVector[T matrix.Float](d *Device, m *matrix.CSR[T], y, x []T, opt Run
 		st.BytesLHS += b
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }

@@ -99,5 +99,6 @@ func RunELLRT[T matrix.Float](d *Device, e *formats.ELLRT[T], y, x []T, opt RunO
 		storeResult(y, sum, wbase, e.N, opt.Accumulate)
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }

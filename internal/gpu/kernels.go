@@ -6,6 +6,7 @@ import (
 	"pjds/internal/core"
 	"pjds/internal/formats"
 	"pjds/internal/matrix"
+	"pjds/internal/telemetry"
 )
 
 // RunOptions modify a kernel execution.
@@ -15,6 +16,12 @@ type RunOptions struct {
 	// bytes/flop the paper attributes to the split local/non-local
 	// spMVM of §III-A.
 	Accumulate bool
+	// Metrics receives the kernel's statistics after the run; nil
+	// publishes to telemetry.Default(). MetricLabels are appended to
+	// the kernel/device labels — the distributed runs add rank and
+	// phase so concurrent ranks never write the same gauge series.
+	Metrics      *telemetry.Registry
+	MetricLabels []telemetry.Label
 }
 
 // RunELLPACK executes the plain ELLPACK spMVM (Fig. 2a): every thread
@@ -80,6 +87,7 @@ func RunELLPACK[T matrix.Float](d *Device, e *formats.ELLPACK[T], y, x []T, opt 
 		storeResult(y, sum, wbase, e.N, opt.Accumulate)
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }
 
@@ -157,6 +165,7 @@ func RunELLPACKR[T matrix.Float](d *Device, e *formats.ELLPACKR[T], y, x []T, op
 		storeResult(y, sum, wbase, e.N, opt.Accumulate)
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }
 
@@ -235,6 +244,7 @@ func RunPJDS[T matrix.Float](d *Device, p *core.PJDS[T], yp, xp []T, opt RunOpti
 		storeResult(yp, sum, wbase, p.N, opt.Accumulate)
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }
 
@@ -313,6 +323,7 @@ func RunSlicedELL[T matrix.Float](d *Device, s *formats.SlicedELL[T], yp, xp []T
 		storeResult(yp, sum, wbase, s.N, opt.Accumulate)
 	}
 	st.finish(d, ws)
+	st.Publish(opt.Metrics, opt.MetricLabels...)
 	return st, nil
 }
 

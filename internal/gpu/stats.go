@@ -66,6 +66,12 @@ type KernelStats struct {
 	// LaneEfficiency is ExecutedLaneSteps/(WarpSteps·warpSize): the
 	// fraction of reserved SIMT slots doing useful work.
 	LaneEfficiency float64
+	// CoalescingEfficiency is the ratio of the minimal val+idx stream
+	// traffic (Nnz·(ElemBytes+4) bytes) to the bytes actually moved on
+	// those streams: 1.0 means every transaction was a full segment,
+	// lower means partially-filled transactions (the wasted parts of
+	// Fig. 2's memory blocks). Zero-nnz kernels report 0.
+	CoalescingEfficiency float64
 }
 
 // Rederive recomputes the derived timing of the same transaction
@@ -105,6 +111,9 @@ func (s *KernelStats) finish(d *Device, warpSize int) {
 	}
 	if s.WarpSteps > 0 {
 		s.LaneEfficiency = float64(s.ExecutedLaneSteps) / (float64(s.WarpSteps) * float64(warpSize))
+	}
+	if streamed := s.BytesVal + s.BytesIdx; streamed > 0 {
+		s.CoalescingEfficiency = float64(s.Nnz*int64(s.ElemBytes+4)) / float64(streamed)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"pjds/internal/simnet"
+	"pjds/internal/telemetry"
 )
 
 // Comm is one rank's endpoint: a rank id, a virtual clock, and the
@@ -52,10 +53,11 @@ type Request struct {
 
 // World owns the shared state of one simulated run.
 type World struct {
-	sw    *simnet.Switch
-	coord *coordinator
-	errs  []error
-	comms []*Comm
+	sw      *simnet.Switch
+	coord   *coordinator
+	errs    []error
+	comms   []*Comm
+	metrics *telemetry.Registry
 }
 
 // Run executes body on n ranks over the given fabric and returns the
@@ -63,7 +65,7 @@ type World struct {
 // converted into an error carrying the rank id; the first error (by
 // rank) is returned.
 func Run(n int, fabric *simnet.Fabric, body func(*Comm) error) ([]float64, error) {
-	return RunWithTopology(n, fabric, 1, nil, body)
+	return RunWithOptions(n, fabric, Options{}, body)
 }
 
 // RunWithTopology is Run for clusters with several ranks (GPUs) per
@@ -71,19 +73,50 @@ func Run(n int, fabric *simnet.Fabric, body func(*Comm) error) ([]float64, error
 // messages over the intra fabric (nil selects simnet.SharedMemory when
 // ranksPerNode > 1).
 func RunWithTopology(n int, fabric *simnet.Fabric, ranksPerNode int, intra *simnet.Fabric, body func(*Comm) error) ([]float64, error) {
+	return RunWithOptions(n, fabric, Options{RanksPerNode: ranksPerNode, Intra: intra}, body)
+}
+
+// Options parameterize a simulated run beyond the interconnect model.
+type Options struct {
+	// RanksPerNode places that many consecutive ranks on one physical
+	// node (0 or 1 = one rank per node).
+	RanksPerNode int
+	// Intra is the intra-node fabric (nil selects simnet.SharedMemory
+	// when RanksPerNode > 1).
+	Intra *simnet.Fabric
+	// Metrics receives message-passing telemetry: per-rank send/recv
+	// counts and bytes, serialization and receive-wait time, and
+	// collective counts (plus the simnet wire-level series).
+	Metrics *telemetry.Registry
+}
+
+// RunWithOptions is the fully-parameterized Run.
+func RunWithOptions(n int, fabric *simnet.Fabric, opt Options, body func(*Comm) error) ([]float64, error) {
 	sw, err := simnet.NewSwitch(fabric, n)
 	if err != nil {
 		return nil, err
 	}
-	if ranksPerNode > 1 {
+	if opt.RanksPerNode > 1 {
+		intra := opt.Intra
 		if intra == nil {
 			intra = simnet.SharedMemory()
 		}
-		if err := sw.SetTopology(ranksPerNode, intra); err != nil {
+		if err := sw.SetTopology(opt.RanksPerNode, intra); err != nil {
 			return nil, err
 		}
 	}
+	if opt.Metrics != nil {
+		sw.SetMetrics(opt.Metrics)
+		opt.Metrics.Help("mpi_sends_total", "point-to-point sends posted")
+		opt.Metrics.Help("mpi_send_bytes_total", "modelled bytes posted for sending")
+		opt.Metrics.Help("mpi_recvs_total", "point-to-point receives completed")
+		opt.Metrics.Help("mpi_send_serialization_seconds_total", "NIC injection (serialization) time per rank")
+		opt.Metrics.Help("mpi_recv_wait_seconds_total", "virtual time spent blocked in receive waits")
+		opt.Metrics.Help("mpi_overhead_seconds_total", "host CPU overhead of posting operations (LogGP o)")
+		opt.Metrics.Help("mpi_collectives_total", "collective operations by kind")
+	}
 	w := &World{
+		metrics: opt.Metrics,
 		sw:    sw,
 		coord: newCoordinator(n),
 		errs:  make([]error, n),
@@ -147,6 +180,13 @@ func (c *Comm) SetClock(t float64) {
 	c.clock = t
 }
 
+// count adds v to a per-rank counter when telemetry is attached.
+func (c *Comm) count(name string, v float64, extra ...telemetry.Label) {
+	if reg := c.world.metrics; reg != nil {
+		reg.Counter(name, append([]telemetry.Label{telemetry.Li("rank", c.rank)}, extra...)...).Add(v)
+	}
+}
+
 // inject hands a message to the wire at the earliest time ≥ at the NIC
 // is free, returning the injection-complete time.
 func (c *Comm) inject(r *Request, at float64) float64 {
@@ -155,6 +195,7 @@ func (c *Comm) inject(r *Request, at float64) float64 {
 	c.nicBusyUntil = start + wire
 	c.world.sw.Send(c.rank, r.dst, r.tag, r.payload, r.bytes, start)
 	r.injected = true
+	c.count("mpi_send_serialization_seconds_total", wire)
 	return c.nicBusyUntil
 }
 
@@ -164,6 +205,9 @@ func (c *Comm) inject(r *Request, at float64) float64 {
 // moves only when Wait is called.
 func (c *Comm) Isend(dst, tag int, payload any, bytes int64) *Request {
 	c.clock += c.Fabric().OverheadSeconds
+	c.count("mpi_overhead_seconds_total", c.Fabric().OverheadSeconds)
+	c.count("mpi_sends_total", 1)
+	c.count("mpi_send_bytes_total", float64(bytes))
 	r := &Request{comm: c, send: true, dst: dst, tag: tag, payload: payload, bytes: bytes}
 	if c.Fabric().AsyncProgress {
 		r.doneAt = c.inject(r, c.clock)
@@ -174,6 +218,7 @@ func (c *Comm) Isend(dst, tag int, payload any, bytes int64) *Request {
 // Irecv posts a nonblocking receive.
 func (c *Comm) Irecv(src, tag int) *Request {
 	c.clock += c.Fabric().OverheadSeconds
+	c.count("mpi_overhead_seconds_total", c.Fabric().OverheadSeconds)
 	return &Request{comm: c, src: src, tag: tag}
 }
 
@@ -195,9 +240,12 @@ func (r *Request) Wait() {
 		c.clock = math.Max(c.clock, r.doneAt)
 		return
 	}
+	posted := c.clock
 	r.Message = c.world.sw.Recv(c.rank, r.src, r.tag)
 	r.doneAt = r.Message.ArrivesAt
 	c.clock = math.Max(c.clock, r.doneAt)
+	c.count("mpi_recvs_total", 1)
+	c.count("mpi_recv_wait_seconds_total", math.Max(0, r.doneAt-posted))
 }
 
 // Waitall completes all requests (sends first, so un-progressed data
@@ -240,6 +288,7 @@ func logSteps(n int) float64 {
 func (c *Comm) Barrier() {
 	res := c.world.coord.rendezvous(c.rank, c.clock, nil)
 	c.clock = res.maxClock + logSteps(c.Size())*c.Fabric().LatencySeconds
+	c.count("mpi_collectives_total", 1, telemetry.L("op", "barrier"))
 }
 
 // AllreduceSum returns the sum of x over all ranks; clocks
@@ -247,6 +296,7 @@ func (c *Comm) Barrier() {
 func (c *Comm) AllreduceSum(x float64) float64 {
 	res := c.world.coord.rendezvous(c.rank, c.clock, x)
 	c.clock = res.maxClock + 2*logSteps(c.Size())*c.Fabric().LatencySeconds
+	c.count("mpi_collectives_total", 1, telemetry.L("op", "allreduce_sum"))
 	sum := 0.0
 	for _, v := range res.payloads {
 		sum += v.(float64)
@@ -259,6 +309,7 @@ func (c *Comm) AllreduceSum(x float64) float64 {
 func (c *Comm) AllreduceMax(x float64) float64 {
 	res := c.world.coord.rendezvous(c.rank, c.clock, x)
 	c.clock = res.maxClock + 2*logSteps(c.Size())*c.Fabric().LatencySeconds
+	c.count("mpi_collectives_total", 1, telemetry.L("op", "allreduce_max"))
 	max := math.Inf(-1)
 	for _, v := range res.payloads {
 		if f := v.(float64); f > max {

@@ -13,7 +13,11 @@
 // stateless and the simulation deterministic.
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"pjds/internal/telemetry"
+)
 
 // Fabric models the cluster interconnect.
 type Fabric struct {
@@ -96,6 +100,25 @@ type Switch struct {
 	// intra-node fabric instead of the interconnect.
 	ranksPerNode int
 	intra        *Fabric
+	// metrics (optional) receives wire-traffic telemetry; set before
+	// the rank goroutines start.
+	metrics *telemetry.Registry
+}
+
+// SetMetrics attaches a telemetry registry to the exchange. Every
+// injected message is counted per sending rank and fabric, every
+// delivery per receiving rank, and payload sizes feed a histogram.
+// Must be called before concurrent use of the switch.
+func (s *Switch) SetMetrics(reg *telemetry.Registry) {
+	s.metrics = reg
+	if reg != nil {
+		reg.Help("simnet_sent_messages_total", "messages injected into the wire")
+		reg.Help("simnet_sent_bytes_total", "modelled payload bytes injected")
+		reg.Help("simnet_wire_seconds_total", "latency+transfer time accumulated over messages")
+		reg.Help("simnet_recv_messages_total", "messages delivered to receivers")
+		reg.Help("simnet_recv_bytes_total", "modelled payload bytes delivered")
+		reg.Help("simnet_message_bytes", "distribution of modelled message sizes")
+	}
 }
 
 // SetTopology declares that consecutive groups of ranksPerNode ranks
@@ -164,11 +187,19 @@ func (s *Switch) Send(src, dst, tag int, payload any, bytes int64, sentAt float6
 	if src < 0 || src >= s.n || dst < 0 || dst >= s.n {
 		panic(fmt.Sprintf("simnet: send %d→%d outside %d ranks", src, dst, s.n))
 	}
+	fab := s.FabricFor(src, dst)
 	m := Message{
 		Src: src, Dst: dst, Tag: tag,
 		Payload: payload, Bytes: bytes,
 		SentAt:    sentAt,
-		ArrivesAt: sentAt + s.FabricFor(src, dst).TransferSeconds(bytes),
+		ArrivesAt: sentAt + fab.TransferSeconds(bytes),
+	}
+	if reg := s.metrics; reg != nil {
+		lbl := []telemetry.Label{telemetry.Li("rank", src), telemetry.L("fabric", fab.Name)}
+		reg.Counter("simnet_sent_messages_total", lbl...).Inc()
+		reg.Counter("simnet_sent_bytes_total", lbl...).Add(float64(m.Bytes))
+		reg.Counter("simnet_wire_seconds_total", lbl...).Add(m.ArrivesAt - m.SentAt)
+		reg.Histogram("simnet_message_bytes", nil, telemetry.L("fabric", fab.Name)).Observe(float64(m.Bytes))
 	}
 	s.boxes[src*s.n+dst].put(m)
 	return m.ArrivesAt
@@ -181,5 +212,11 @@ func (s *Switch) Recv(dst, src, tag int) Message {
 	if src < 0 || src >= s.n || dst < 0 || dst >= s.n {
 		panic(fmt.Sprintf("simnet: recv %d←%d outside %d ranks", dst, src, s.n))
 	}
-	return s.boxes[src*s.n+dst].get(tag)
+	m := s.boxes[src*s.n+dst].get(tag)
+	if reg := s.metrics; reg != nil {
+		lbl := []telemetry.Label{telemetry.Li("rank", dst)}
+		reg.Counter("simnet_recv_messages_total", lbl...).Inc()
+		reg.Counter("simnet_recv_bytes_total", lbl...).Add(float64(m.Bytes))
+	}
+	return m
 }

@@ -1,0 +1,36 @@
+package solver
+
+import "pjds/internal/telemetry"
+
+// Probe observes iterative progress: it is called after every
+// completed iteration with the 1-based iteration count and the current
+// convergence measure (residual norm for linear solvers, eigenvalue
+// change for the power iteration).
+type Probe func(iteration int, residual float64)
+
+// GaugeProbe returns a Probe publishing progress into reg (nil selects
+// telemetry.Default()) as the solver_iterations and solver_residual
+// gauges, labelled with the method name plus extras — callers running
+// several solves concurrently must pass disambiguating extras (e.g. a
+// rank label) so no two solves share a series.
+func GaugeProbe(reg *telemetry.Registry, method string, extra ...telemetry.Label) Probe {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	lbl := append([]telemetry.Label{telemetry.L("method", method)}, extra...)
+	reg.Help("solver_iterations", "iterations completed by the most recent solve")
+	reg.Help("solver_residual", "current convergence measure of the most recent solve")
+	iters := reg.Gauge("solver_iterations", lbl...)
+	resid := reg.Gauge("solver_residual", lbl...)
+	return func(iteration int, residual float64) {
+		iters.Set(float64(iteration))
+		resid.Set(residual)
+	}
+}
+
+// notify fans one observation out to all probes.
+func notify(probes []Probe, iteration int, residual float64) {
+	for _, p := range probes {
+		p(iteration, residual)
+	}
+}

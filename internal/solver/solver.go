@@ -72,8 +72,8 @@ type CGResult struct {
 
 // CG solves A·x = b for symmetric positive definite A, starting from
 // the contents of x, until ‖r‖₂ ≤ tol·‖b‖₂ or maxIter iterations.
-// x is updated in place.
-func CG(a Operator, x, b []float64, tol float64, maxIter int) (CGResult, error) {
+// x is updated in place. Probes observe every completed iteration.
+func CG(a Operator, x, b []float64, tol float64, maxIter int, probes ...Probe) (CGResult, error) {
 	n := a.Dim()
 	if len(x) != n || len(b) != n {
 		return CGResult{}, fmt.Errorf("solver: CG size mismatch |x|=%d |b|=%d dim=%d", len(x), len(b), n)
@@ -116,6 +116,7 @@ func CG(a Operator, x, b []float64, tol float64, maxIter int) (CGResult, error) 
 		rr = rrNew
 		res.Iterations++
 		res.History = append(res.History, math.Sqrt(rr))
+		notify(probes, res.Iterations, math.Sqrt(rr))
 	}
 	res.Residual = math.Sqrt(rr)
 	if res.Residual > tol*bnorm {
@@ -132,8 +133,9 @@ type PowerResult struct {
 }
 
 // PowerIteration finds the dominant eigenvalue (by magnitude) of a,
-// starting from v0 (or a deterministic default when nil).
-func PowerIteration(a Operator, v0 []float64, tol float64, maxIter int) (PowerResult, error) {
+// starting from v0 (or a deterministic default when nil). Probes
+// observe every step with the eigenvalue change as the residual.
+func PowerIteration(a Operator, v0 []float64, tol float64, maxIter int, probes ...Probe) (PowerResult, error) {
 	n := a.Dim()
 	v := make([]float64, n)
 	if v0 != nil {
@@ -161,6 +163,7 @@ func PowerIteration(a Operator, v0 []float64, tol float64, maxIter int) (PowerRe
 		for i := range v {
 			v[i] = av[i] / nv
 		}
+		notify(probes, k+1, math.Abs(next-lambda))
 		if k > 0 && math.Abs(next-lambda) <= tol*math.Abs(next) {
 			return PowerResult{Eigenvalue: next, Vector: v, Iterations: k + 1}, nil
 		}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so the +Inf bucket
+// survives JSON encoding.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatValue(b.UpperBound), b.Count)), nil
+}
+
+// Series is one metric series in a snapshot.
+type Series struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	// Histogram-only fields; Buckets are cumulative and end at +Inf.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+
+	canon string // sort key within a family
+}
+
+// Snapshot returns every series in deterministic order: families
+// sorted by name (counters, gauges and histograms interleaved), series
+// within a family by their canonical label set.
+func (r *Registry) Snapshot() []Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Series
+	for key, c := range r.counters {
+		name := key[:len(key)-len(canonical(c.labels))]
+		out = append(out, Series{
+			Name: name, Type: "counter",
+			Labels: labelMap(c.labels), Value: c.Value(),
+			canon: canonical(c.labels),
+		})
+	}
+	for key, g := range r.gauges {
+		name := key[:len(key)-len(canonical(g.labels))]
+		out = append(out, Series{
+			Name: name, Type: "gauge",
+			Labels: labelMap(g.labels), Value: g.Value(),
+			canon: canonical(g.labels),
+		})
+	}
+	for key, h := range r.hists {
+		name := key[:len(key)-len(canonical(h.labels))]
+		s := Series{
+			Name: name, Type: "histogram",
+			Labels: labelMap(h.labels),
+			Sum:    h.Sum(), Count: h.Count(),
+			canon: canonical(h.labels),
+		}
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: b, Count: cum})
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].canon < out[j].canon
+	})
+	return out
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// formatValue renders a sample value the way Prometheus does.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4). Output is byte-deterministic for
+// a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	lastName := ""
+	for _, s := range snap {
+		if s.Name != lastName {
+			if h, ok := help[s.Name]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		switch s.Type {
+		case "histogram":
+			for _, b := range s.Buckets {
+				lbls := append(labelsOf(s.Labels), L("le", formatValue(b.UpperBound)))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, canonical(lbls), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, s.canon, formatValue(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, s.canon, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, s.canon, formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func labelsOf(m map[string]string) []Label {
+	var out []Label
+	for k, v := range m {
+		out = append(out, L(k, v))
+	}
+	return out
+}
+
+// WriteFile writes the registry to path: JSON when the path ends in
+// .json, Prometheus text otherwise.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = r.WriteJSON(f)
+	} else {
+		err = r.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteJSON writes an indented JSON snapshot ({"metrics": [...]}).
+// encoding/json sorts map keys, so the output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics []Series `json:"metrics"`
+	}{Metrics: r.Snapshot()}
+	if doc.Metrics == nil {
+		doc.Metrics = []Series{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

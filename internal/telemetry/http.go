@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving this registry:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// Server is a live introspection endpoint started by Serve.
+type Server struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP endpoint on addr exposing the registry plus the
+// standard Go introspection handlers, for watching long scaling or
+// solver runs live:
+//
+//	/metrics, /metrics.json  the registry (see Handler)
+//	/debug/vars              expvar
+//	/debug/pprof/...         net/http/pprof
+//
+// It returns once the listener is bound; serving continues in the
+// background until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}

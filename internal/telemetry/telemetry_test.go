@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bytes_total", L("rank", "0"))
+	c.Add(100)
+	c.Inc()
+	if got := c.Value(); got != 101 {
+		t.Fatalf("counter = %g, want 101", got)
+	}
+	// Same name+labels returns the same series, label order irrelevant.
+	c2 := r.Counter("bytes_total", L("rank", "0"))
+	if c2 != c {
+		t.Fatal("counter identity not stable")
+	}
+	g := r.Gauge("alpha", L("kernel", "pJDS"), L("rank", "1"))
+	g.Set(1.25)
+	g2 := r.Gauge("alpha", L("rank", "1"), L("kernel", "pJDS"))
+	if g2.Value() != 1.25 {
+		t.Fatalf("gauge with reordered labels = %g, want 1.25", g2.Value())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative counter delta not rejected")
+			}
+		}()
+		c.Add(-1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type clash not rejected")
+			}
+		}()
+		r.Gauge("bytes_total")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid name not rejected")
+			}
+		}()
+		r.Counter("0bad name")
+	}()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("msg_bytes", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 5526 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Type != "histogram" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	// Cumulative: ≤10 → 2, ≤100 → 3, ≤1000 → 4, +Inf → 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, b := range snap[0].Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d: count %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(snap[0].Buckets[3].UpperBound, 1) {
+		t.Error("last bucket not +Inf")
+	}
+}
+
+func TestPrometheusOutputDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Help("bytes_total", "bytes moved")
+		// Insert in scrambled orders; output must not depend on it.
+		for _, rank := range []string{"2", "0", "1"} {
+			r.Counter("bytes_total", L("rank", rank)).Add(10)
+		}
+		r.Gauge("alpha", L("kernel", "pJDS")).Set(1.5)
+		r.Histogram("sizes", []float64{1, 2}).Observe(1.5)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("nondeterministic output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# HELP bytes_total bytes moved",
+		"# TYPE bytes_total counter",
+		`bytes_total{rank="0"} 10`,
+		"# TYPE alpha gauge",
+		`alpha{kernel="pJDS"} 1.5`,
+		`sizes_bucket{le="+Inf"} 1`,
+		"sizes_sum 1.5",
+		"sizes_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families sorted by name, series by labels.
+	if strings.Index(out, "# TYPE alpha") > strings.Index(out, "# TYPE bytes_total") {
+		t.Error("families not sorted")
+	}
+	if strings.Index(out, `rank="0"`) > strings.Index(out, `rank="1"`) {
+		t.Error("series not sorted")
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", L("mode", "task")).Inc()
+	r.Histogram("sizes", []float64{8}).Observe(100)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name    string            `json:"name"`
+			Type    string            `json:"type"`
+			Labels  map[string]string `json:"labels"`
+			Value   float64           `json:"value"`
+			Buckets []struct {
+				Le    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("got %d metrics", len(doc.Metrics))
+	}
+	if doc.Metrics[0].Name != "runs_total" || doc.Metrics[0].Labels["mode"] != "task" || doc.Metrics[0].Value != 1 {
+		t.Errorf("runs_total: %+v", doc.Metrics[0])
+	}
+	if doc.Metrics[1].Buckets[1].Le != "+Inf" {
+		t.Errorf("histogram +Inf bucket did not survive JSON: %+v", doc.Metrics[1])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("k", `a"b\c`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `{k="a\"b\\c\n"}`) {
+		t.Errorf("escaping wrong: %s", buf.String())
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("ops_total", Li("rank", g%4)).Inc()
+				r.Gauge("last", Li("rank", g%4)).Set(float64(i))
+				r.Histogram("sizes", nil, Li("rank", g%4)).Observe(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0.0
+	for g := 0; g < 4; g++ {
+		total += r.Counter("ops_total", Li("rank", g)).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("lost increments: %g", total)
+	}
+}
+
+func TestSpanLogOrderingAndShift(t *testing.T) {
+	l := NewSpanLog()
+	// Scrambled insertion from "ranks".
+	l.Add(Span{Proc: 1, Lane: "gpu", Name: "b", Start: 2, End: 3})
+	l.Add(Span{Proc: 0, Lane: "host", Name: "a", Start: 1, End: 2})
+	l.Add(Span{Proc: 0, Lane: "gpu", Name: "c", Start: 1, End: 4})
+	spans := l.Spans()
+	if spans[0].Name != "c" || spans[1].Name != "a" || spans[2].Name != "b" {
+		t.Fatalf("order: %+v", spans)
+	}
+	if l.MaxEnd() != 4 {
+		t.Fatalf("MaxEnd = %g", l.MaxEnd())
+	}
+	other := NewSpanLog()
+	other.Add(Span{Proc: 2, Lane: "solver", Name: "d", Start: 0, End: 1})
+	l.AppendShifted(other, l.MaxEnd())
+	spans = l.Spans()
+	last := spans[len(spans)-1]
+	if last.Name != "d" || last.Start != 4 || last.End != 5 {
+		t.Fatalf("shifted span: %+v", last)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if !strings.Contains(get("/metrics"), "up_total 1") {
+		t.Error("/metrics missing counter")
+	}
+	if !strings.Contains(get("/metrics.json"), `"up_total"`) {
+		t.Error("/metrics.json missing counter")
+	}
+	if !strings.Contains(get("/debug/vars"), "memstats") {
+		t.Error("/debug/vars not mounted")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Error("/debug/pprof not mounted")
+	}
+}

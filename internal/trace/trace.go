@@ -2,6 +2,11 @@
 // trace-event format (the JSON consumed by chrome://tracing and
 // Perfetto), so the Fig. 4 execution structure can be inspected
 // interactively instead of as ASCII art.
+//
+// WriteSpans is the general entry point: it renders any set of
+// telemetry spans — every rank's communication, GPU, and solver lanes
+// — as one trace. WriteCluster is the original rank-0 timeline
+// exporter, kept as a thin wrapper over the same machinery.
 package trace
 
 import (
@@ -11,6 +16,7 @@ import (
 	"sort"
 
 	"pjds/internal/distmv"
+	"pjds/internal/telemetry"
 )
 
 // event is one Chrome trace "complete" event (ph = "X"); timestamps
@@ -35,52 +41,172 @@ type metadata struct {
 	Args map[string]any `json:"args"`
 }
 
-// laneTID maps the two lanes of the distmv timeline onto stable thread
-// ids: the communication thread is thread 0 (as in Fig. 4) and the GPU
-// stream is thread 1.
-func laneTID(lane string) int {
-	if lane == "gpu" {
-		return 1
-	}
-	return 0
+// Meta parameterizes the trace header: display names for processes
+// (ranks) and lanes, and run-level values for the viewer's otherData.
+type Meta struct {
+	// Processes maps pid (rank) to a display name; pids present in the
+	// spans but absent here keep a generic "rank N" name.
+	Processes map[int]string
+	// LaneNames maps a lane to its thread display name; unnamed lanes
+	// display as the lane string itself.
+	LaneNames map[string]string
+	// Other is attached verbatim as the trace's otherData.
+	Other map[string]any
 }
 
-// WriteCluster renders a distributed-run result as a trace: one
-// process per (simulated) node would need per-rank timelines, so the
+// laneTID maps the timeline lanes onto stable thread ids: the
+// communication (host) thread is thread 0 (as in Fig. 4), the GPU
+// stream is thread 1, and the solver lane is thread 2.
+func laneTID(lane string) int {
+	switch lane {
+	case "gpu":
+		return 1
+	case "solver":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// tidOf extends laneTID to arbitrary lanes: unknown lanes get ids from
+// 3 upward in sorted lane order, so output stays deterministic.
+func tidOf(lane string, extra map[string]int) int {
+	switch lane {
+	case "host", "gpu", "solver":
+		return laneTID(lane)
+	}
+	return extra[lane]
+}
+
+// WriteSpans renders telemetry spans as one Chrome trace: each span's
+// Proc becomes a trace process (one per rank), each lane a named
+// thread within it. Output is deterministic: metadata sorted by
+// (pid, tid), events by (Start, Proc, Lane, Name, End).
+func WriteSpans(w io.Writer, spans []telemetry.Span, meta Meta) error {
+	sorted := append([]telemetry.Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.End < b.End
+	})
+
+	// Discover processes and lanes; assign ids to non-standard lanes.
+	procLanes := map[int]map[string]bool{}
+	unknown := map[string]bool{}
+	for _, s := range sorted {
+		if procLanes[s.Proc] == nil {
+			procLanes[s.Proc] = map[string]bool{}
+		}
+		procLanes[s.Proc][s.Lane] = true
+		switch s.Lane {
+		case "host", "gpu", "solver":
+		default:
+			unknown[s.Lane] = true
+		}
+	}
+	extraTID := map[string]int{}
+	{
+		lanes := make([]string, 0, len(unknown))
+		for l := range unknown {
+			lanes = append(lanes, l)
+		}
+		sort.Strings(lanes)
+		for i, l := range lanes {
+			extraTID[l] = 3 + i
+		}
+	}
+
+	var out []any
+	pids := make([]int, 0, len(procLanes))
+	for pid := range procLanes {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		name, ok := meta.Processes[pid]
+		if !ok {
+			name = fmt.Sprintf("rank %d", pid)
+		}
+		out = append(out, metadata{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}})
+		lanes := make([]string, 0, len(procLanes[pid]))
+		for l := range procLanes[pid] {
+			lanes = append(lanes, l)
+		}
+		sort.Slice(lanes, func(i, j int) bool { return tidOf(lanes[i], extraTID) < tidOf(lanes[j], extraTID) })
+		for _, l := range lanes {
+			ln, ok := meta.LaneNames[l]
+			if !ok {
+				ln = l
+			}
+			out = append(out, metadata{Name: "thread_name", Ph: "M", PID: pid, TID: tidOf(l, extraTID), Args: map[string]any{"name": ln}})
+		}
+	}
+
+	for _, s := range sorted {
+		var args map[string]any
+		if len(s.Args) > 0 {
+			args = make(map[string]any, len(s.Args))
+			for k, v := range s.Args {
+				args[k] = v
+			}
+		}
+		out = append(out, event{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   1e6 * s.Start,
+			Dur:  1e6 * (s.End - s.Start),
+			PID:  s.Proc,
+			TID:  tidOf(s.Lane, extraTID),
+			Args: args,
+		})
+	}
+
+	other := meta.Other
+	if other == nil {
+		other = map[string]any{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ns",
+		"otherData":       other,
+	})
+}
+
+// WriteCluster renders a distributed-run result as a trace: the
 // recorded rank-0 timeline is emitted as process 0 with its host and
 // GPU lanes, plus run-level counters as args.
 func WriteCluster(w io.Writer, res *distmv.Result) error {
 	if res == nil {
 		return fmt.Errorf("trace: nil result")
 	}
-	var out []any
-	out = append(out,
-		metadata{Name: "process_name", Ph: "M", PID: 0, Args: map[string]any{"name": fmt.Sprintf("rank 0 (%s, %s, P=%d)", res.Mode, res.Format, res.P)}},
-		metadata{Name: "thread_name", Ph: "M", PID: 0, TID: 0, Args: map[string]any{"name": "host thread 0 (MPI)"}},
-		metadata{Name: "thread_name", Ph: "M", PID: 0, TID: 1, Args: map[string]any{"name": "GPU stream"}},
-	)
-	evs := append([]distmv.Event(nil), res.Timeline...)
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
-	for _, e := range evs {
-		out = append(out, event{
-			Name: e.Name,
-			Cat:  e.Lane,
-			Ph:   "X",
-			Ts:   1e6 * e.Start,
-			Dur:  1e6 * (e.End - e.Start),
-			PID:  0,
-			TID:  laneTID(e.Lane),
-			Args: map[string]any{
+	spans := make([]telemetry.Span, 0, len(res.Timeline))
+	for _, e := range res.Timeline {
+		spans = append(spans, telemetry.Span{
+			Proc: 0, Lane: e.Lane, Cat: e.Lane, Name: e.Name,
+			Start: e.Start, End: e.End,
+			Args: map[string]string{
 				"mode":   res.Mode.String(),
 				"format": res.Format.String(),
 			},
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"traceEvents":     out,
-		"displayTimeUnit": "ns",
-		"otherData": map[string]any{
+	return WriteSpans(w, spans, Meta{
+		Processes: map[int]string{0: fmt.Sprintf("rank 0 (%s, %s, P=%d)", res.Mode, res.Format, res.P)},
+		LaneNames: map[string]string{"host": "host thread 0 (MPI)", "gpu": "GPU stream"},
+		Other: map[string]any{
 			"nodes":          res.P,
 			"iterations":     res.Iterations,
 			"gflops":         res.GFlops,

@@ -8,6 +8,7 @@ import (
 
 	"pjds/internal/distmv"
 	"pjds/internal/matgen"
+	"pjds/internal/telemetry"
 )
 
 func TestWriteCluster(t *testing.T) {
@@ -70,5 +71,83 @@ func TestWriteClusterNil(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteCluster(&buf, nil); err == nil {
 		t.Fatal("nil result accepted")
+	}
+}
+
+// TestWriteSpansAllModes runs an instrumented distributed spMVM in all
+// three communication modes and checks the exported Chrome trace: valid
+// JSON, every rank present as a process with comm and gpu events, and
+// the mode recorded on each event's args.
+func TestWriteSpansAllModes(t *testing.T) {
+	m := matgen.Random(4000, 8, 20, 1)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1
+	}
+	const p = 3
+	for _, mode := range distmv.Modes() {
+		spans := telemetry.NewSpanLog()
+		if _, err := distmv.RunSpMVM(m, x, p, mode, distmv.Config{
+			Iterations: 1, Telemetry: telemetry.NewRegistry(), Spans: spans,
+		}); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSpans(&buf, spans.Spans(), Meta{}); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", mode, err)
+		}
+		cats := map[int]map[string]bool{}
+		lastTS := -1.0
+		for _, e := range doc.TraceEvents {
+			if e["ph"] != "X" {
+				continue
+			}
+			pid := int(e["pid"].(float64))
+			if cats[pid] == nil {
+				cats[pid] = map[string]bool{}
+			}
+			cats[pid][e["cat"].(string)] = true
+			ts := e["ts"].(float64)
+			if ts < lastTS {
+				t.Errorf("%s: events out of timestamp order", mode)
+			}
+			lastTS = ts
+			args := e["args"].(map[string]any)
+			if args["mode"] != mode.Slug() {
+				t.Errorf("%s: event mode arg %v", mode, args["mode"])
+			}
+		}
+		for r := 0; r < p; r++ {
+			if !cats[r]["comm"] || !cats[r]["gpu"] {
+				t.Errorf("%s: rank %d categories %v", mode, r, cats[r])
+			}
+		}
+	}
+}
+
+// TestWriteSpansDeterministic writes the same span set twice and
+// expects byte-identical output.
+func TestWriteSpansDeterministic(t *testing.T) {
+	spans := []telemetry.Span{
+		{Proc: 1, Lane: "gpu", Cat: "gpu", Name: "b", Start: 0, End: 2, Args: map[string]string{"k": "v", "a": "z"}},
+		{Proc: 0, Lane: "host", Cat: "comm", Name: "a", Start: 0, End: 1},
+		{Proc: 0, Lane: "solver", Cat: "solver", Name: "c", Start: 1, End: 3},
+	}
+	meta := Meta{Processes: map[int]string{0: "rank 0", 1: "rank 1"}, Other: map[string]any{"n": 2}}
+	var b1, b2 bytes.Buffer
+	if err := WriteSpans(&b1, spans, meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpans(&b2, spans, meta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("trace output not deterministic")
 	}
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Run the repo's performance benchmarks: the Go micro-benchmarks, then
+# a fixed spmvbench workload whose measurements land in BENCH_PR1.json
+# (schema pjds-bench/v1: GF/s, derived bandwidth, code balance and
+# alpha per matrix/format/precision/ECC cell).
+#
+# Usage: scripts/bench.sh [scale]   (default 0.05 — quick but stable)
+set -eu
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.05}"
+
+go build -o /tmp/pjds-bin/ ./cmd/...
+BIN=/tmp/pjds-bin
+
+echo "== Go micro-benchmarks =="
+go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "== spmvbench Table I workload (scale $SCALE) =="
+$BIN/spmvbench -table1 -scale "$SCALE" -json BENCH_PR1.json \
+    -metrics-out BENCH_PR1.metrics.json > /dev/null
+echo "wrote BENCH_PR1.json and BENCH_PR1.metrics.json"

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repository health check: vet, build, the full test suite, and a race
+# run over the concurrency-heavy packages (virtual-time fabric, the
+# MPI-like layer, the distributed spMVM engine, and telemetry).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/telemetry/... ./internal/simnet/... \
+    ./internal/mpi/... ./internal/distmv/...
+
+echo "all checks passed"
