@@ -33,6 +33,7 @@ import (
 	"pjds/internal/distmv"
 	"pjds/internal/distsolver"
 	"pjds/internal/experiments"
+	"pjds/internal/gpu"
 	"pjds/internal/mpi"
 	"pjds/internal/simnet"
 	"pjds/internal/telemetry"
@@ -66,10 +67,12 @@ func run(args []string, out io.Writer) error {
 		gpusNode   = fs.Int("gpuspernode", 1, "GPUs per physical node (intra-node traffic uses shared memory)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
+		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	gpu.SetDefaultWorkers(*workers)
 	if *traceOut == "" {
 		*traceOut = *traceAlias
 	}

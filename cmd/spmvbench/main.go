@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	"pjds/internal/experiments"
 	"pjds/internal/gpu"
@@ -50,9 +51,40 @@ func run(args []string, out io.Writer) error {
 		jsonOut    = fs.String("json", "", "write the Table I measurements as machine-readable JSON to this file (implies -table1)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
+		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	gpu.SetDefaultWorkers(*workers)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spmvbench: memprofile:", err)
+				return
+			}
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "spmvbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	if *jsonOut != "" {
 		*table1 = true

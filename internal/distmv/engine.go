@@ -71,7 +71,7 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 		for s, col := range rp.HaloCols {
 			xExt[nloc+s] = x[col]
 		}
-		prof, err := rp.Profile(cfg.Device, cfg.Format, xExt, reg)
+		prof, err := rp.Profile(cfg.Device, cfg.Format, xExt, reg, cfg.Workers)
 		if err != nil {
 			return err
 		}

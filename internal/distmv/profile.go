@@ -54,7 +54,9 @@ type RankProfile struct {
 // asserted here as an internal consistency check. Kernel statistics
 // are published into reg (nil selects telemetry.Default()) labelled by
 // rank and phase, so concurrent ranks never share a gauge series.
-func (rp *RankProblem) Profile(dev *gpu.Device, kind FormatKind, xExt []float64, reg *telemetry.Registry) (*RankProfile, error) {
+// workers is forwarded to gpu.RunOptions.Workers (0 = package
+// default); it affects host wall-clock only, never results or stats.
+func (rp *RankProblem) Profile(dev *gpu.Device, kind FormatKind, xExt []float64, reg *telemetry.Registry, workers int) (*RankProfile, error) {
 	nloc := rp.LocalRows()
 	if len(xExt) != nloc+rp.HaloSize() {
 		return nil, fmt.Errorf("distmv: rank %d xExt length %d, want %d", rp.Rank, len(xExt), nloc+rp.HaloSize())
@@ -66,6 +68,7 @@ func (rp *RankProblem) Profile(dev *gpu.Device, kind FormatKind, xExt []float64,
 	runOne := func(phase string, m *matrix.CSR[float64], x, y []float64, acc bool) (*gpu.KernelStats, error) {
 		opt := gpu.RunOptions{
 			Accumulate: acc,
+			Workers:    workers,
 			Metrics:    reg,
 			MetricLabels: []telemetry.Label{
 				telemetry.Li("rank", rp.Rank),

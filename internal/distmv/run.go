@@ -69,6 +69,10 @@ type Config struct {
 	Format FormatKind
 	// Iterations is the number of timed spMVM repetitions.
 	Iterations int
+	// Workers is the number of host goroutines executing each
+	// simulated kernel's warps (gpu.RunOptions.Workers); 0 selects the
+	// gpu package default. Any value yields bit-identical results.
+	Workers int
 	// HostGatherBW models the host-side gather of send buffers
 	// ("local gather" in Fig. 4); 0 selects 8 GB/s.
 	HostGatherBW float64

@@ -12,7 +12,10 @@ import (
 	"math"
 
 	"pjds/internal/distmv"
+	"pjds/internal/formats"
+	"pjds/internal/gpu"
 	"pjds/internal/mpi"
+	"pjds/internal/telemetry"
 )
 
 // Halo is one rank's reusable halo-exchange engine. Exchange sends the
@@ -81,18 +84,76 @@ func (h *Halo) Exchange(x []float64) ([]float64, error) {
 // Operator applies the distributed matrix: y = A_loc·x + A_nl·halo(x),
 // with one halo exchange per application. Kernel time is charged to
 // the rank clock with a simple bytes/bandwidth model of the host
-// kernels (the GPU-timing variant is what internal/distmv measures).
+// kernels; UseDevice switches to the GPU simulator's transaction-level
+// timing instead (what internal/distmv measures for the fixed-x
+// benchmark loop).
 type Operator struct {
 	RP   *distmv.RankProblem
 	Halo *Halo
 	c    *mpi.Comm
 	// KernelBW is the modelled spMVM memory bandwidth (B/s) used to
 	// advance the virtual clock per application; 0 disables timing.
+	// Ignored once UseDevice is called.
 	KernelBW float64
 	// Inst (optional) records each application's halo exchange and
 	// spMVM as spans on the rank's solver lane.
 	Inst    *Instrument
 	applies int
+
+	// Device state, set by UseDevice: the ELLPACK-R forms of the local
+	// and non-local blocks are built once per solve, so every Apply
+	// after the first replays cached kernel plans.
+	dev         *gpu.Device
+	devLocal    *formats.ELLPACKR[float64]
+	devNonLocal *formats.ELLPACKR[float64]
+	devWorkers  int
+}
+
+// UseDevice routes every subsequent Apply through the GPU simulator on
+// dev: the local kernel computes y = A_loc·x, the non-local kernel
+// accumulates y += A_nl·halo (adding the LHS read traffic of §III-A),
+// and the rank clock advances by the simulated kernel times. The
+// numeric result is bit-identical to the host path — both sum each row
+// in stored column order.
+func (op *Operator) UseDevice(dev *gpu.Device, workers int) error {
+	if err := dev.Validate(); err != nil {
+		return err
+	}
+	op.dev = dev
+	op.devWorkers = workers
+	op.devLocal = formats.NewELLPACKR(op.RP.Local)
+	op.devNonLocal = formats.NewELLPACKR(op.RP.NonLocal)
+	return nil
+}
+
+// deviceMul runs the split kernels on the simulator and advances the
+// rank clock by their simulated duration.
+func (op *Operator) deviceMul(y, x, halo []float64) error {
+	var reg *telemetry.Registry
+	if op.Inst != nil {
+		reg = op.Inst.Metrics
+	}
+	opt := func(phase string, acc bool) gpu.RunOptions {
+		return gpu.RunOptions{
+			Accumulate: acc,
+			Workers:    op.devWorkers,
+			Metrics:    reg,
+			MetricLabels: []telemetry.Label{
+				telemetry.Li("rank", op.RP.Rank),
+				telemetry.L("phase", phase),
+			},
+		}
+	}
+	stL, err := gpu.RunELLPACKR(op.dev, op.devLocal, y, x, opt("solver-local", false))
+	if err != nil {
+		return err
+	}
+	stN, err := gpu.RunELLPACKR(op.dev, op.devNonLocal, y, halo, opt("solver-non-local", true))
+	if err != nil {
+		return err
+	}
+	op.c.Advance(stL.KernelSeconds + stN.KernelSeconds)
+	return nil
 }
 
 // NewOperator builds the distributed operator for one rank.
@@ -116,6 +177,9 @@ func (op *Operator) Apply(y, x []float64) error {
 		return err
 	}
 	return op.Inst.spanned(op.c, op.RP.Rank, "gpu", "spMVM", n, func() error {
+		if op.dev != nil {
+			return op.deviceMul(y, x, halo)
+		}
 		if err := op.RP.Local.MulVec(y, x); err != nil {
 			return err
 		}

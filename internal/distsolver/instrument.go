@@ -3,6 +3,7 @@ package distsolver
 import (
 	"strconv"
 
+	"pjds/internal/gpu"
 	"pjds/internal/mpi"
 	"pjds/internal/telemetry"
 )
@@ -15,6 +16,16 @@ import (
 type Instrument struct {
 	Metrics *telemetry.Registry
 	Spans   *telemetry.SpanLog
+	// Device (optional) switches the solve's spMVM from the host
+	// bytes/bandwidth model to the GPU simulator: the operator builds
+	// ELLPACK-R device formats once per solve and each application
+	// charges the simulated local+non-local kernel time to the rank
+	// clock. Results stay bit-identical to the host path (the device
+	// kernel sums each row in CSR order).
+	Device *gpu.Device
+	// Workers is passed through to the simulated kernels
+	// (gpu.RunOptions.Workers); 0 selects the gpu package default.
+	Workers int
 }
 
 // registry resolves the target registry (Default when unset).

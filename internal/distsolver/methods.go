@@ -38,6 +38,11 @@ func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIte
 	}
 	op := NewOperator(rp, c)
 	op.Inst = in
+	if in != nil && in.Device != nil {
+		if err := op.UseDevice(in.Device, in.Workers); err != nil {
+			return CGResult{}, err
+		}
+	}
 	n := op.Dim()
 	if len(x) != n || len(b) != n {
 		return CGResult{}, fmt.Errorf("distsolver: CG |x|=%d |b|=%d, own %d rows", len(x), len(b), n)
@@ -123,6 +128,11 @@ func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float
 	}
 	op := NewOperator(rp, c)
 	op.Inst = in
+	if in != nil && in.Device != nil {
+		if err := op.UseDevice(in.Device, in.Workers); err != nil {
+			return PowerResult{}, err
+		}
+	}
 	n := op.Dim()
 	v := make([]float64, n)
 	if v0 != nil {

@@ -16,6 +16,16 @@ type RunOptions struct {
 	// bytes/flop the paper attributes to the split local/non-local
 	// spMVM of §III-A.
 	Accumulate bool
+	// Workers is the number of host goroutines executing warps
+	// concurrently; 0 selects the package default (SetDefaultWorkers,
+	// falling back to GOMAXPROCS), 1 forces sequential execution.
+	// Results, stats and telemetry are bit-identical for any value:
+	// warps write disjoint result rows and every simulated counter is
+	// precompiled into the plan.
+	Workers int
+	// Plans selects the plan cache to memoize compiled kernel plans
+	// in; nil uses the package-default cache (Plans()).
+	Plans *PlanCache
 	// Metrics receives the kernel's statistics after the run; nil
 	// publishes to telemetry.Default(). MetricLabels are appended to
 	// the kernel/device labels — the distributed runs add rank and
@@ -35,60 +45,24 @@ func RunELLPACK[T matrix.Float](d *Device, e *formats.ELLPACK[T], y, x []T, opt 
 	if len(x) != e.NCols || len(y) != e.N {
 		return nil, fmt.Errorf("gpu: ELLPACK run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
 	}
-	es := core.SizeofElem[T]()
-	st := &KernelStats{Kernel: "ELLPACK", Rows: e.N, Nnz: int64(e.NnzV), UsefulFlops: 2 * int64(e.NnzV), ElemBytes: es}
-	ws := d.WarpSize
-	segShift := log2(d.SegmentBytes)
-	segBytes := int64(d.SegmentBytes)
-	secShift := log2(d.GatherSectorBytes)
-	secBytes := int64(d.GatherSectorBytes)
-	l2 := newCache(d.L2, d.GatherSectorBytes)
-	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
-	sum := make([]T, ws)
-
-	for wbase := 0; wbase < e.NPad; wbase += ws {
-		st.Warps++
-		if e.MaxRowLen > 0 {
-			st.ActiveWarps++
+	p := planFor(opt, d, "ELLPACK", e, func() *Plan[T] {
+		// Plain ELLPACK has no row-length array on the device: every
+		// lane runs to the global maximum, computing on padding.
+		steps := make([]int32, e.NPad)
+		for i := range steps {
+			steps[i] = int32(e.MaxRowLen)
 		}
-		lanes := ws
-		if wbase+lanes > e.NPad {
-			lanes = e.NPad - wbase
-		}
-		for l := range sum {
-			sum[l] = 0
-		}
-		st.WarpSteps += int64(e.MaxRowLen)
-		for j := 0; j < e.MaxRowLen; j++ {
-			valSegs.reset()
-			idxSegs.reset()
-			rhsSegs.reset()
-			for lane := 0; lane < lanes; lane++ {
-				i := wbase + lane
+		return compilePlan(d, planSource[T]{
+			kernel: "ELLPACK", rows: e.N, cols: e.NCols, nPad: e.NPad,
+			nnz: int64(e.NnzV), metaSegs: 0,
+			val: e.Val, steps: steps,
+			access: func(i, j int) (int64, int32) {
 				at := j*e.NPad + i
-				c := e.ColIdx[at]
-				sum[lane] += e.Val[at] * x[c]
-				st.ExecutedLaneSteps++
-				valSegs.add(addrVal+int64(at)*int64(es), segShift)
-				idxSegs.add(addrIdx+int64(at)*4, segShift)
-				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
-			}
-			st.BytesVal += int64(len(valSegs.segs)) * segBytes
-			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
-			for _, sec := range rhsSegs.segs {
-				st.RHSProbes++
-				if !l2.probe(sec << secShift) {
-					st.RHSMisses++
-					st.BytesRHS += secBytes
-				}
-			}
-		}
-		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, e.N), es, segShift, segBytes, opt.Accumulate)
-		storeResult(y, sum, wbase, e.N, opt.Accumulate)
-	}
-	st.finish(d, ws)
-	st.Publish(opt.Metrics, opt.MetricLabels...)
-	return st, nil
+				return int64(at), e.ColIdx[at]
+			},
+		})
+	})
+	return p.run(d, y, x, opt), nil
 }
 
 // RunELLPACKR executes the ELLPACK-R spMVM of Listing 1 (Fig. 2b):
@@ -102,71 +76,18 @@ func RunELLPACKR[T matrix.Float](d *Device, e *formats.ELLPACKR[T], y, x []T, op
 	if len(x) != e.NCols || len(y) != e.N {
 		return nil, fmt.Errorf("gpu: ELLPACK-R run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
 	}
-	es := core.SizeofElem[T]()
-	st := &KernelStats{Kernel: "ELLPACK-R", Rows: e.N, Nnz: int64(e.NnzV), UsefulFlops: 2 * int64(e.NnzV), ElemBytes: es}
-	ws := d.WarpSize
-	segShift := log2(d.SegmentBytes)
-	segBytes := int64(d.SegmentBytes)
-	secShift := log2(d.GatherSectorBytes)
-	secBytes := int64(d.GatherSectorBytes)
-	l2 := newCache(d.L2, d.GatherSectorBytes)
-	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
-	sum := make([]T, ws)
-
-	for wbase := 0; wbase < e.NPad; wbase += ws {
-		st.Warps++
-		lanes := ws
-		if wbase+lanes > e.NPad {
-			lanes = e.NPad - wbase
-		}
-		maxLen := 0
-		for lane := 0; lane < lanes; lane++ {
-			if l := int(e.RowLen[wbase+lane]); l > maxLen {
-				maxLen = l
-			}
-		}
-		if maxLen > 0 {
-			st.ActiveWarps++
-		}
-		for l := range sum {
-			sum[l] = 0
-		}
-		st.WarpSteps += int64(maxLen)
-		// The rowmax[] load: one coalesced segment per warp.
-		st.BytesMeta += segBytes
-		for j := 0; j < maxLen; j++ {
-			valSegs.reset()
-			idxSegs.reset()
-			rhsSegs.reset()
-			for lane := 0; lane < lanes; lane++ {
-				i := wbase + lane
-				if j >= int(e.RowLen[i]) {
-					continue // lane idle: reserved but useless (light boxes of Fig. 2b)
-				}
+	p := planFor(opt, d, "ELLPACK-R", e, func() *Plan[T] {
+		return compilePlan(d, planSource[T]{
+			kernel: "ELLPACK-R", rows: e.N, cols: e.NCols, nPad: e.NPad,
+			nnz: int64(e.NnzV), metaSegs: 1, // the rowmax[] load: one coalesced segment per warp
+			val: e.Val, steps: e.RowLen,
+			access: func(i, j int) (int64, int32) {
 				at := j*e.NPad + i
-				c := e.ColIdx[at]
-				sum[lane] += e.Val[at] * x[c]
-				st.ExecutedLaneSteps++
-				valSegs.add(addrVal+int64(at)*int64(es), segShift)
-				idxSegs.add(addrIdx+int64(at)*4, segShift)
-				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
-			}
-			st.BytesVal += int64(len(valSegs.segs)) * segBytes
-			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
-			for _, sec := range rhsSegs.segs {
-				st.RHSProbes++
-				if !l2.probe(sec << secShift) {
-					st.RHSMisses++
-					st.BytesRHS += secBytes
-				}
-			}
-		}
-		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, e.N), es, segShift, segBytes, opt.Accumulate)
-		storeResult(y, sum, wbase, e.N, opt.Accumulate)
-	}
-	st.finish(d, ws)
-	st.Publish(opt.Metrics, opt.MetricLabels...)
-	return st, nil
+				return int64(at), e.ColIdx[at]
+			},
+		})
+	})
+	return p.run(d, y, x, opt), nil
 }
 
 // RunPJDS executes the pJDS spMVM of Listing 2 (Fig. 2c) in the
@@ -181,75 +102,25 @@ func RunPJDS[T matrix.Float](d *Device, p *core.PJDS[T], yp, xp []T, opt RunOpti
 	if len(xp) != p.NCols || len(yp) < p.N {
 		return nil, fmt.Errorf("gpu: pJDS run |x|=%d |y|=%d on %dx%d: %w", len(xp), len(yp), p.N, p.NCols, matrix.ErrShape)
 	}
-	es := core.SizeofElem[T]()
-	st := &KernelStats{Kernel: p.Name(), Rows: p.N, Nnz: int64(p.Nnz), UsefulFlops: 2 * int64(p.Nnz), ElemBytes: es}
-	ws := d.WarpSize
-	segShift := log2(d.SegmentBytes)
-	segBytes := int64(d.SegmentBytes)
-	secShift := log2(d.GatherSectorBytes)
-	secBytes := int64(d.GatherSectorBytes)
-	l2 := newCache(d.L2, d.GatherSectorBytes)
-	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
-	sum := make([]T, ws)
-
-	for wbase := 0; wbase < p.NPad; wbase += ws {
-		st.Warps++
-		lanes := ws
-		if wbase+lanes > p.NPad {
-			lanes = p.NPad - wbase
-		}
-		maxLen := 0
-		for lane := 0; lane < lanes; lane++ {
-			if l := int(p.RowLen[wbase+lane]); l > maxLen {
-				maxLen = l
-			}
-		}
-		if maxLen > 0 {
-			st.ActiveWarps++
-		}
-		for l := range sum {
-			sum[l] = 0
-		}
-		st.WarpSteps += int64(maxLen)
-		st.BytesMeta += segBytes // rowmax[] load; col_start[] assumed cached (§II-B)
-		for j := 0; j < maxLen; j++ {
-			off := int(p.ColStart[j])
-			valSegs.reset()
-			idxSegs.reset()
-			rhsSegs.reset()
-			for lane := 0; lane < lanes; lane++ {
-				i := wbase + lane
-				if j >= int(p.RowLen[i]) {
-					continue
-				}
-				at := off + i
-				c := p.ColIdx[at]
-				sum[lane] += p.Val[at] * xp[c]
-				st.ExecutedLaneSteps++
-				valSegs.add(addrVal+int64(at)*int64(es), segShift)
-				idxSegs.add(addrIdx+int64(at)*4, segShift)
-				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
-			}
-			st.BytesVal += int64(len(valSegs.segs)) * segBytes
-			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
-			for _, sec := range rhsSegs.segs {
-				st.RHSProbes++
-				if !l2.probe(sec << secShift) {
-					st.RHSMisses++
-					st.BytesRHS += secBytes
-				}
-			}
-		}
-		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, p.N), es, segShift, segBytes, opt.Accumulate)
-		storeResult(yp, sum, wbase, p.N, opt.Accumulate)
-	}
-	st.finish(d, ws)
-	st.Publish(opt.Metrics, opt.MetricLabels...)
-	return st, nil
+	pl := planFor(opt, d, p.Name(), p, func() *Plan[T] {
+		return compilePlan(d, planSource[T]{
+			kernel: p.Name(), rows: p.N, cols: p.NCols, nPad: p.NPad,
+			nnz: int64(p.Nnz), metaSegs: 1, // rowmax[] load; col_start[] assumed cached (§II-B)
+			val: p.Val, steps: p.RowLen,
+			access: func(i, j int) (int64, int32) {
+				at := int(p.ColStart[j]) + i
+				return int64(at), p.ColIdx[at]
+			},
+		})
+	})
+	return pl.run(d, yp, xp, opt), nil
 }
 
 // RunSlicedELL executes the sliced-ELLPACK kernel (related work
-// [12, 13]) in its stored row order: yp = Ap·xp.
+// [12, 13]) in its stored row order: yp = Ap·xp. One warp covers
+// warpSize consecutive rows, which may span several slices when
+// C < warpSize; lanes are then grouped per slice but still issue one
+// SIMT instruction stream.
 func RunSlicedELL[T matrix.Float](d *Device, s *formats.SlicedELL[T], yp, xp []T, opt RunOptions) (*KernelStats, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -257,79 +128,25 @@ func RunSlicedELL[T matrix.Float](d *Device, s *formats.SlicedELL[T], yp, xp []T
 	if len(xp) != s.NCols || len(yp) < s.N {
 		return nil, fmt.Errorf("gpu: sliced-ELL run |x|=%d |y|=%d on %dx%d: %w", len(xp), len(yp), s.N, s.NCols, matrix.ErrShape)
 	}
-	es := core.SizeofElem[T]()
-	st := &KernelStats{Kernel: s.Name(), Rows: s.N, Nnz: int64(s.NonZeros()), UsefulFlops: 2 * int64(s.NonZeros()), ElemBytes: es}
-	ws := d.WarpSize
-	segShift := log2(d.SegmentBytes)
-	segBytes := int64(d.SegmentBytes)
-	secShift := log2(d.GatherSectorBytes)
-	secBytes := int64(d.GatherSectorBytes)
-	l2 := newCache(d.L2, d.GatherSectorBytes)
-	var valSegs, idxSegs, rhsSegs, lhsSegs segCounter
-	sum := make([]T, ws)
-
-	// One warp covers ws consecutive rows, which may span several
-	// slices when C < warpSize; lanes are then grouped per slice but
-	// still issue one SIMT instruction stream.
-	for wbase := 0; wbase < s.NPad; wbase += ws {
-		st.Warps++
-		lanes := ws
-		if wbase+lanes > s.NPad {
-			lanes = s.NPad - wbase
-		}
-		maxLen := 0
-		for lane := 0; lane < lanes; lane++ {
-			if l := int(s.RowLen[wbase+lane]); l > maxLen {
-				maxLen = l
-			}
-		}
-		if maxLen > 0 {
-			st.ActiveWarps++
-		}
-		for l := range sum {
-			sum[l] = 0
-		}
-		st.WarpSteps += int64(maxLen)
-		st.BytesMeta += 2 * segBytes // rowLen + slice offset/length metadata
-		for j := 0; j < maxLen; j++ {
-			valSegs.reset()
-			idxSegs.reset()
-			rhsSegs.reset()
-			for lane := 0; lane < lanes; lane++ {
-				i := wbase + lane
-				if j >= int(s.RowLen[i]) {
-					continue
-				}
+	p := planFor(opt, d, s.Name(), s, func() *Plan[T] {
+		return compilePlan(d, planSource[T]{
+			kernel: s.Name(), rows: s.N, cols: s.NCols, nPad: s.NPad,
+			nnz: int64(s.NonZeros()), metaSegs: 2, // rowLen + slice offset/length metadata
+			val: s.Val, steps: s.RowLen,
+			access: func(i, j int) (int64, int32) {
 				sl, slLane := i/s.C, i%s.C
 				at := s.SliceStart[sl] + int64(j*s.C+slLane)
-				c := s.ColIdx[at]
-				sum[lane] += s.Val[at] * xp[c]
-				st.ExecutedLaneSteps++
-				valSegs.add(addrVal+at*int64(es), segShift)
-				idxSegs.add(addrIdx+at*4, segShift)
-				rhsSegs.add(addrRHS+int64(c)*int64(es), secShift)
-			}
-			st.BytesVal += int64(len(valSegs.segs)) * segBytes
-			st.BytesIdx += int64(len(idxSegs.segs)) * segBytes
-			for _, sec := range rhsSegs.segs {
-				st.RHSProbes++
-				if !l2.probe(sec << secShift) {
-					st.RHSMisses++
-					st.BytesRHS += secBytes
-				}
-			}
-		}
-		st.BytesLHS += lhsBytes(&lhsSegs, wbase, min(wbase+lanes, s.N), es, segShift, segBytes, opt.Accumulate)
-		storeResult(yp, sum, wbase, s.N, opt.Accumulate)
-	}
-	st.finish(d, ws)
-	st.Publish(opt.Metrics, opt.MetricLabels...)
-	return st, nil
+				return at, s.ColIdx[at]
+			},
+		})
+	})
+	return p.run(d, yp, xp, opt), nil
 }
 
-// lhsBytes counts the result-vector traffic for rows [lo, hi): one
-// store (and one load when accumulating) per touched segment.
-func lhsBytes(segs *segCounter, lo, hi, es int, segShift uint, segBytes int64, accumulate bool) int64 {
+// lhsSegments counts the distinct result-vector segments rows [lo, hi)
+// touch; the plan stores the count so the accumulate-dependent byte
+// doubling can be applied at replay time.
+func lhsSegments(segs *segCounter, lo, hi, es int, segShift uint) int64 {
 	if hi <= lo {
 		return 0
 	}
@@ -337,7 +154,13 @@ func lhsBytes(segs *segCounter, lo, hi, es int, segShift uint, segBytes int64, a
 	for i := lo; i < hi; i++ {
 		segs.add(addrLHS+int64(i)*int64(es), segShift)
 	}
-	b := int64(len(segs.segs)) * segBytes
+	return int64(len(segs.segs))
+}
+
+// lhsBytes counts the result-vector traffic for rows [lo, hi): one
+// store (and one load when accumulating) per touched segment.
+func lhsBytes(segs *segCounter, lo, hi, es int, segShift uint, segBytes int64, accumulate bool) int64 {
+	b := lhsSegments(segs, lo, hi, es, segShift) * segBytes
 	if accumulate {
 		b *= 2
 	}

@@ -1,0 +1,53 @@
+package solver
+
+import (
+	"pjds/internal/core"
+	"pjds/internal/gpu"
+	"pjds/internal/matrix"
+)
+
+// DevicePJDS is a PermutedPJDS operator whose Apply runs on the GPU
+// simulator instead of the host CPU kernel. The simulated kernel
+// computes the same per-row sums in the same floating-point order as
+// MulVecPermuted, so solves are bit-identical to the host operator;
+// what the device adds is the transaction-level timing, accumulated
+// into SimSeconds across the solve. The kernel plan is compiled on
+// first Apply and served from the plan cache afterwards, so a solve
+// with hundreds of iterations pays the coalescing/L2 analysis once.
+type DevicePJDS struct {
+	*PermutedPJDS
+	// Dev is the simulated accelerator; Opt is passed through to every
+	// kernel run (metrics registry, labels, worker count).
+	Dev *gpu.Device
+	Opt gpu.RunOptions
+	// Applies counts kernel launches; SimSeconds accumulates the
+	// simulated kernel time of the whole solve; Last is the statistics
+	// of the most recent application.
+	Applies    int
+	SimSeconds float64
+	Last       *gpu.KernelStats
+}
+
+// NewDevicePJDS builds the device-backed operator for a square matrix.
+func NewDevicePJDS(m *matrix.CSR[float64], opt core.Options, dev *gpu.Device) (*DevicePJDS, error) {
+	p, err := NewPermutedPJDS(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	return &DevicePJDS{PermutedPJDS: p, Dev: dev}, nil
+}
+
+// Apply implements Operator in the permuted basis on the device.
+func (o *DevicePJDS) Apply(y, x []float64) error {
+	st, err := gpu.RunPJDS(o.Dev, o.P, y, x, o.Opt)
+	if err != nil {
+		return err
+	}
+	o.Applies++
+	o.SimSeconds += st.KernelSeconds
+	o.Last = st
+	return nil
+}

@@ -1,0 +1,125 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pjds/internal/core"
+	"pjds/internal/gpu"
+	"pjds/internal/matgen"
+	"pjds/internal/telemetry"
+)
+
+// TestDevicePJDSMatchesHostOperator checks that the device-backed
+// operator is bit-identical to the host PermutedPJDS kernel per
+// application, and that it accumulates simulated kernel time.
+func TestDevicePJDSMatchesHostOperator(t *testing.T) {
+	m := matgen.Banded(1200, 3, 17, 77, 1)
+	host, err := NewPermutedPJDS(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevicePJDS(m, core.Options{}, gpu.TeslaC2070())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Opt.Metrics = telemetry.NewRegistry()
+	dev.Opt.Plans = gpu.NewPlanCache(0)
+	dev.Opt.Workers = 2
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	yh := make([]float64, host.Dim())
+	yd := make([]float64, dev.Dim())
+	const applies = 5
+	for k := 0; k < applies; k++ {
+		if err := host.Apply(yh, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Apply(yd, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range yh {
+			if math.Float64bits(yh[i]) != math.Float64bits(yd[i]) {
+				t.Fatalf("apply %d: y[%d] = %g on device, %g on host", k, i, yd[i], yh[i])
+			}
+		}
+	}
+	if dev.Applies != applies {
+		t.Errorf("Applies = %d, want %d", dev.Applies, applies)
+	}
+	if dev.SimSeconds <= 0 || dev.Last == nil {
+		t.Errorf("no simulated time accumulated: %g, %v", dev.SimSeconds, dev.Last)
+	}
+	if math.Abs(dev.SimSeconds-float64(applies)*dev.Last.KernelSeconds) > 1e-12 {
+		t.Errorf("SimSeconds = %g, want %d × %g", dev.SimSeconds, applies, dev.Last.KernelSeconds)
+	}
+	// The plan compiled once; the remaining applications replayed it.
+	if s := dev.Opt.Plans.Stats(); s.Compiles != 1 || s.Hits != applies-1 {
+		t.Errorf("plan cache: %+v, want 1 compile and %d hits", s, applies-1)
+	}
+}
+
+// TestCGOnDevicePJDS runs a full CG solve through the simulator and
+// checks it matches the host-operator solve exactly, iteration for
+// iteration.
+func TestCGOnDevicePJDS(t *testing.T) {
+	m := matgen.Stencil2D(25, 25)
+	n := m.NRows
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(0.04 * float64(i))
+	}
+	b := make([]float64, n)
+	if err := m.MulVec(b, want); err != nil {
+		t.Fatal(err)
+	}
+	host, err := NewPermutedPJDS(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevicePJDS(m, core.Options{}, gpu.TeslaC2070())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Opt.Metrics = telemetry.NewRegistry()
+	dev.Opt.Plans = gpu.NewPlanCache(0)
+
+	bp := make([]float64, n)
+	solve := func(op Operator, perm *PermutedPJDS) ([]float64, CGResult) {
+		perm.Enter(bp, b)
+		xp := make([]float64, n)
+		res, err := CG(op, xp, bp, 1e-11, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		perm.Leave(x, xp)
+		return x, res
+	}
+	xh, rh := solve(host, host)
+	xd, rd := solve(dev, dev.PermutedPJDS)
+	if rh.Iterations != rd.Iterations {
+		t.Errorf("device CG took %d iterations, host %d", rd.Iterations, rh.Iterations)
+	}
+	for i := range xh {
+		if math.Float64bits(xh[i]) != math.Float64bits(xd[i]) {
+			t.Fatalf("solutions diverge at %d: %g vs %g", i, xd[i], xh[i])
+		}
+	}
+	for i := range want {
+		if math.Abs(xd[i]-want[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want %g", i, xd[i], want[i])
+		}
+	}
+	if dev.Applies != rd.Iterations+1 { // one extra for the initial residual
+		t.Errorf("Applies = %d, iterations = %d", dev.Applies, rd.Iterations)
+	}
+	// Amortization: one compile for the whole solve.
+	if s := dev.Opt.Plans.Stats(); s.Compiles != 1 || s.Hits != int64(dev.Applies-1) {
+		t.Errorf("plan cache: %+v over %d applies", s, dev.Applies)
+	}
+}

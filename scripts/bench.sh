@@ -1,13 +1,63 @@
 #!/bin/sh
-# Run the repo's performance benchmarks: the Go micro-benchmarks, then
-# a fixed spmvbench workload whose measurements land in BENCH_PR1.json
-# (schema pjds-bench/v1: GF/s, derived bandwidth, code balance and
-# alpha per matrix/format/precision/ECC cell).
+# Run the repo's performance benchmarks.
 #
-# Usage: scripts/bench.sh [scale]   (default 0.05 — quick but stable)
+# Default mode: the Go micro-benchmarks, then a fixed spmvbench workload
+# whose measurements land in BENCH_PR1.json (schema pjds-bench/v1: GF/s,
+# derived bandwidth, code balance and alpha per matrix/format/precision/
+# ECC cell).
+#
+# pr2 mode: the kernel-plan before/after comparison. "Before" is the
+# pre-plan behaviour — every Run* call pays the full coalescing/L2
+# analysis (BenchmarkPlanCompile/compile runs against a cold cache);
+# "after" is the cached replay (BenchmarkPlanCompile/replay), plus the
+# per-worker-count replay benchmarks. ns/op for every benchmark is
+# written to BENCH_PR2.json (schema pjds-bench-pr2/v1).
+#
+# Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
+#        scripts/bench.sh pr2 [scale]
 set -eu
 cd "$(dirname "$0")/.."
+
+MODE=default
+case "${1:-}" in
+pr2)
+    MODE=pr2
+    shift
+    ;;
+esac
 SCALE="${1:-0.05}"
+
+if [ "$MODE" = pr2 ]; then
+    echo "== kernel-plan benchmarks (scale $SCALE) =="
+    OUT=$(PJDS_SCALE="$SCALE" go test -run '^$' \
+        -bench 'BenchmarkRunPJDS|BenchmarkRunELLPACKR|BenchmarkPlanCompile' \
+        -benchtime 5x ./internal/gpu/)
+    echo "$OUT"
+    echo "$OUT" | awk -v scale="$SCALE" '
+        BEGIN { n = 0 }
+        $1 ~ /^Benchmark/ && $NF == "ns/op" {
+            name = $1
+            sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+            names[n] = name; iters[n] = $2; ns[n] = $3; n++
+            if (name == "BenchmarkPlanCompile/compile") compile = $3
+            if (name == "BenchmarkPlanCompile/replay")  replay = $3
+        }
+        END {
+            printf "{\n  \"schema\": \"pjds-bench-pr2/v1\",\n"
+            printf "  \"scale\": %s,\n", scale
+            printf "  \"benchmarks\": [\n"
+            for (i = 0; i < n; i++)
+                printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
+                    names[i], iters[i], ns[i], (i < n-1 ? "," : "")
+            printf "  ],\n"
+            printf "  \"before_compile_per_call_ns\": %s,\n", compile
+            printf "  \"after_cached_replay_ns\": %s,\n", replay
+            printf "  \"plan_amortization_speedup\": %.3f\n", compile / replay
+            printf "}\n"
+        }' >BENCH_PR2.json
+    echo "wrote BENCH_PR2.json"
+    exit 0
+fi
 
 go build -o /tmp/pjds-bin/ ./cmd/...
 BIN=/tmp/pjds-bin

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repository health check: vet, build, the full test suite, and a race
 # run over the concurrency-heavy packages (virtual-time fabric, the
-# MPI-like layer, the distributed spMVM engine, and telemetry).
+# MPI-like layer, the distributed spMVM engine, telemetry, and the GPU
+# worker pool — the gpu tests exercise Workers>1 and concurrent
+# plan-cache lookups).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,5 +19,8 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/telemetry/... ./internal/simnet/... \
     ./internal/mpi/... ./internal/distmv/...
+
+echo "== go test -race (gpu worker pool, Workers>1) =="
+go test -race ./internal/gpu/...
 
 echo "all checks passed"
