@@ -1,0 +1,256 @@
+// Command perfreport produces causal performance reports for the
+// simulated GPGPU cluster: the cross-rank critical path and its
+// rank × lane × phase attribution, overlap efficiency per §III-A
+// communication mode, and the measured-vs-model kernel table (Eq. 1),
+// plus a perf-regression gate comparing two report artifacts.
+//
+// Usage:
+//
+//	perfreport [-matrix DLR1] [-scale 0.1] [-ranks 8] [-iters 2]
+//	           [-format ellpack-r] [-modes vector,naive-overlap,task]
+//	           [-json] [-o FILE]
+//	    run the distributed benchmark per mode and report on each.
+//
+//	perfreport -trace-in trace.json [-metrics-in metrics.json]
+//	    analyze saved artifacts (scaling -trace-out / -metrics-out)
+//	    instead of running a scenario.
+//
+//	perfreport diff [-tol 0.02] [-tol-metric gflops=0.05,...] OLD NEW
+//	    compare two JSON report/benchmark artifacts leaf by leaf under
+//	    tolerance bands; exit non-zero when any metric regressed
+//	    (scripts/regress.sh wraps this).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pjds/internal/critpath"
+	"pjds/internal/distmv"
+	"pjds/internal/experiments"
+	"pjds/internal/telemetry"
+	"pjds/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "perfreport:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "diff" {
+		return runDiff(args[1:], out)
+	}
+	fs := flag.NewFlagSet("perfreport", flag.ContinueOnError)
+	var (
+		matrixArg = fs.String("matrix", "DLR1", "matrix: DLR1 or UHBR (any catalog name accepted)")
+		scale     = fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size")
+		ranks     = fs.Int("ranks", 8, "node count for the scenario run")
+		iters     = fs.Int("iters", 2, "timed spMVM iterations")
+		formatArg = fs.String("format", "ellpack-r", "device format: ellpack-r or pjds")
+		modesArg  = fs.String("modes", "", "comma-separated mode slugs (default: all of vector,naive-overlap,task)")
+		traceIn   = fs.String("trace-in", "", "analyze this Chrome trace artifact instead of running a scenario")
+		metricsIn = fs.String("metrics-in", "", "JSON metrics snapshot accompanying -trace-in (optional)")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
+		outFile   = fs.String("o", "", "write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	w := out
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *traceIn != "" {
+		return analyzeArtifacts(w, *traceIn, *metricsIn, *jsonOut)
+	}
+
+	format := distmv.FormatELLPACKR
+	switch strings.ToLower(*formatArg) {
+	case "ellpack-r", "ellpackr":
+	case "pjds":
+		format = distmv.FormatPJDS
+	default:
+		return fmt.Errorf("unknown format %q", *formatArg)
+	}
+	modes, err := parseModes(*modesArg)
+	if err != nil {
+		return err
+	}
+	reports, err := experiments.RunPerfReports(experiments.PerfReportConfig{
+		Matrix:     *matrixArg,
+		Scale:      *scale,
+		Ranks:      *ranks,
+		Iterations: *iters,
+		Format:     format,
+		Modes:      modes,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"reports": reports})
+	}
+	for i, mr := range reports {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%.2f GF/s at P=%d (%.3g s/iter)\n", mr.GFlops, mr.Ranks, mr.PerIterSeconds)
+		if err := mr.Report.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if *outFile != "" {
+		fmt.Fprintf(out, "wrote %s\n", *outFile)
+	}
+	return nil
+}
+
+// parseModes resolves a comma-separated slug list (empty = all).
+func parseModes(arg string) ([]distmv.Mode, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var modes []distmv.Mode
+	for _, f := range strings.Split(arg, ",") {
+		slug := strings.TrimSpace(f)
+		found := false
+		for _, m := range distmv.Modes() {
+			if m.Slug() == slug {
+				modes = append(modes, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown mode %q (want vector, naive-overlap, or task)", slug)
+		}
+	}
+	return modes, nil
+}
+
+// analyzeArtifacts reports on a saved trace (plus optional metrics
+// snapshot) instead of a fresh run.
+func analyzeArtifacts(w io.Writer, tracePath, metricsPath string, jsonOut bool) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	spans, err := trace.ReadSpans(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var metrics []telemetry.Series
+	if metricsPath != "" {
+		mf, err := os.Open(metricsPath)
+		if err != nil {
+			return err
+		}
+		metrics, err = telemetry.ReadSnapshot(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+	}
+	rep := critpath.Analyze(filepath.Base(tracePath), spans, metrics)
+	if jsonOut {
+		return rep.WriteJSON(w)
+	}
+	return rep.WriteText(w)
+}
+
+// runDiff is the regression gate: it compares two JSON artifacts and
+// exits non-zero when any metric regressed beyond its tolerance band.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("perfreport diff", flag.ContinueOnError)
+	var (
+		tol       = fs.Float64("tol", 0.02, "default relative tolerance band (0.02 = ±2%)")
+		tolMetric = fs.String("tol-metric", "", "per-metric overrides, e.g. gflops=0.05,seconds=0.1")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: perfreport diff [-tol T] [-tol-metric k=v,...] OLD.json NEW.json")
+	}
+	opt := critpath.DiffOptions{Tolerance: *tol}
+	if *tolMetric != "" {
+		opt.PerMetric = map[string]float64{}
+		for _, kv := range strings.Split(*tolMetric, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return fmt.Errorf("bad -tol-metric entry %q", kv)
+			}
+			band, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad -tol-metric band %q: %v", kv, err)
+			}
+			opt.PerMetric[k] = band
+		}
+	}
+	oldDoc, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newDoc, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	findings, err := critpath.Diff(oldDoc, newDoc, opt)
+	if err != nil {
+		return err
+	}
+	regressions := 0
+	for _, f := range findings {
+		if f.Regression() {
+			regressions++
+		}
+		switch f.Verdict {
+		case critpath.DiffMissing:
+			fmt.Fprintf(out, "REGRESSION %-40s metric disappeared (was %g)\n", f.Path, f.Old)
+		case critpath.DiffAdded:
+			fmt.Fprintf(out, "added      %-40s %g\n", f.Path, f.New)
+		default:
+			tag := "improved  "
+			if f.Regression() {
+				tag = "REGRESSION"
+			}
+			fmt.Fprintf(out, "%s %-40s %g -> %g (%+.1f%%)\n", tag, f.Path, f.Old, f.New, relPct(f.RelChange))
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d regression(s) beyond tolerance", regressions)
+	}
+	fmt.Fprintf(out, "no regressions (%d finding(s) within policy)\n", len(findings))
+	return nil
+}
+
+// relPct clamps the printed relative change for the old==0 case.
+func relPct(rel float64) float64 {
+	if math.IsInf(rel, 0) {
+		return math.Copysign(999, rel)
+	}
+	return 100 * rel
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScenarioText runs the smallest scenario and checks the report
+// shape: a verdict line, a category table, and overlap per mode.
+func TestScenarioText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ranks", "3", "-scale", "0.02", "-iters", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"critical path:", "-bound", "kernel", "top contributors", "overlap:", "Eq. 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, mode := range []string{"vector", "naive-overlap", "task"} {
+		if !strings.Contains(out, "DLR1 "+mode+" P=3") {
+			t.Errorf("missing %s report", mode)
+		}
+	}
+}
+
+// TestJSONAndSelfDiff writes a JSON artifact, self-diffs it (zero
+// regressions, exit nil), then perturbs a metric and expects the gate
+// to fail.
+func TestJSONAndSelfDiff(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "a.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-ranks", "3", "-scale", "0.02", "-iters", "1",
+		"-modes", "task", "-json", "-o", art}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Reports []struct {
+			Mode   string  `json:"mode"`
+			GFlops float64 `json:"gflops"`
+		} `json:"reports"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if len(doc.Reports) != 1 || doc.Reports[0].Mode != "task" || doc.Reports[0].GFlops <= 0 {
+		t.Fatalf("artifact reports: %+v", doc.Reports)
+	}
+
+	buf.Reset()
+	if err := run([]string{"diff", art, art}, &buf); err != nil {
+		t.Fatalf("self-diff regressed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Errorf("self-diff output: %s", buf.String())
+	}
+
+	bad := filepath.Join(dir, "b.json")
+	perturbed := strings.Replace(string(raw), `"gflops"`, `"gflops_was"`, 1)
+	if perturbed == string(raw) {
+		t.Fatal("perturbation did not apply")
+	}
+	if err := os.WriteFile(bad, []byte(perturbed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"diff", art, bad}, &buf); err == nil {
+		t.Fatalf("gate passed a missing metric:\n%s", buf.String())
+	}
+}
+
+// TestBadFlags covers the error paths users actually hit.
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-format", "coo"},
+		{"-modes", "warp"},
+		{"stray"},
+		{"diff", "only-one.json"},
+		{"diff", "-tol-metric", "nonsense", "a.json", "b.json"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -51,13 +51,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scaling", flag.ContinueOnError)
 	var (
-		matrixArg = fs.String("matrix", "DLR1", "matrix: DLR1 or UHBR (any catalog name accepted)")
-		scale     = fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size")
-		nodesArg  = fs.String("nodes", "", "comma-separated node counts (default per matrix)")
-		iters     = fs.Int("iters", 3, "timed spMVM iterations")
-		formatArg = fs.String("format", "ellpack-r", "device format: ellpack-r or pjds")
-		timeline  = fs.Bool("timeline", false, "print the Fig. 4 task-mode timeline instead of scaling")
-		tlNodes   = fs.Int("timelinenodes", 8, "node count for -timeline/-breakdown/-trace")
+		matrixArg  = fs.String("matrix", "DLR1", "matrix: DLR1 or UHBR (any catalog name accepted)")
+		scale      = fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size")
+		nodesArg   = fs.String("nodes", "", "comma-separated node counts (default per matrix)")
+		iters      = fs.Int("iters", 3, "timed spMVM iterations")
+		formatArg  = fs.String("format", "ellpack-r", "device format: ellpack-r or pjds")
+		timeline   = fs.Bool("timeline", false, "print the Fig. 4 task-mode timeline instead of scaling")
+		tlNodes    = fs.Int("timelinenodes", 8, "node count for -timeline/-breakdown/-trace")
 		breakdown  = fs.Bool("breakdown", false, "print the per-phase cost breakdown of one iteration")
 		traceAlias = fs.String("trace", "", "alias for -trace-out")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON of a task-mode run plus a short solver phase, all ranks")
@@ -65,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		baseScale  = fs.Float64("basescale", 0.02, "per-node matrix scale for -weak")
 		ablations  = fs.Bool("ablations", false, "run the cluster-side ablations")
 		gpusNode   = fs.Int("gpuspernode", 1, "GPUs per physical node (intra-node traffic uses shared memory)")
+		perfReport = fs.Bool("perfreport", false, "append a one-line critical-path/overlap summary to each Fig. 5 point (cmd/perfreport gives the full report)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
 		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
@@ -135,6 +136,7 @@ func run(args []string, out io.Writer) error {
 			Nodes:      nodes,
 			Iterations: *iters,
 			Format:     format,
+			PerfReport: *perfReport,
 		}, out)
 		return err
 	}
@@ -206,7 +208,7 @@ func runTrace(out io.Writer, path, name string, scale float64, nodes int, format
 		return err
 	}
 	solverSpans := telemetry.NewSpanLog()
-	_, err = mpi.Run(nodes, simnet.QDRInfiniBand(), func(c *mpi.Comm) error {
+	_, err = mpi.RunWithOptions(nodes, simnet.QDRInfiniBand(), mpi.Options{Spans: solverSpans}, func(c *mpi.Comm) error {
 		inst := &distsolver.Instrument{Spans: solverSpans}
 		_, err := distsolver.PowerIteration(c, problems[c.Rank()], nil, 0, 5, inst)
 		if err != nil && !errors.Is(err, distsolver.ErrNotConverged) {

@@ -42,10 +42,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spmvbench", flag.ContinueOnError)
 	var (
-		scale     = fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size (UHBR capped by its memory gate)")
-		table1    = fs.Bool("table1", false, "reproduce Table I")
-		fig2      = fs.Bool("fig2", false, "quantify Fig. 2 on -matrix")
-		ablations = fs.Bool("ablations", false, "run the DESIGN.md format/model ablations")
+		scale      = fs.Float64("scale", experiments.DefaultScale, "matrix scale, 1 = published size (UHBR capped by its memory gate)")
+		table1     = fs.Bool("table1", false, "reproduce Table I")
+		fig2       = fs.Bool("fig2", false, "quantify Fig. 2 on -matrix")
+		ablations  = fs.Bool("ablations", false, "run the DESIGN.md format/model ablations")
 		outlook    = fs.Bool("outlook", false, "run the §IV outlook format comparison (pJDS vs sliced ELLPACK/ELLR-T/BELLPACK/CSR)")
 		matrixArg  = fs.String("matrix", "sAMG", "matrix for -fig2/-ablations: DLR1, DLR2, HMEp, sAMG, UHBR")
 		jsonOut    = fs.String("json", "", "write the Table I measurements as machine-readable JSON to this file (implies -table1)")

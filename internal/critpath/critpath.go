@@ -1,0 +1,474 @@
+// Package critpath turns the telemetry of a simulated distributed run
+// — the per-rank span log plus the metrics snapshot — into a causal
+// performance report. It reconstructs the cross-rank happens-before
+// DAG (message edges from the mpi lane's send records, collective
+// edges from the rendezvous spans, program order within each rank),
+// extracts the critical path by a deterministic backward walk from the
+// last event, and attributes every second of the path to a
+// rank × lane × span-name contributor and to one of the paper's cost
+// categories: kernel (device memory bandwidth, Eq. 1), PCIe (Eq. 2's
+// T_PCI), communication (§III-A), or imbalance (idle gaps). The
+// companion analyses — overlap efficiency per communication mode and
+// measured-vs-model kernel attribution — live in overlap.go and
+// model.go; report.go assembles everything into one Report.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pjds/internal/mpi"
+	"pjds/internal/telemetry"
+)
+
+// Message is one point-to-point transfer reconstructed from an mpi
+// "send" span. SentAt..InjectEnd is NIC serialization on the source,
+// InjectEnd..ArrivesAt the wire (latency) portion.
+type Message struct {
+	Src, Dst, Tag int
+	Bytes         int64
+	SentAt        float64
+	InjectEnd     float64
+	ArrivesAt     float64
+	Fabric        string
+}
+
+// WireSeconds returns the full source-to-destination transfer time.
+func (m Message) WireSeconds() float64 { return m.ArrivesAt - m.SentAt }
+
+// ExtractMessages rebuilds the message records from the mpi lane's
+// send spans (see mpi.SpanSend), sorted by (SentAt, Src, Dst, Tag).
+func ExtractMessages(spans []telemetry.Span) []Message {
+	var msgs []Message
+	for _, s := range spans {
+		if s.Lane != mpi.SpanLane || s.Name != mpi.SpanSend {
+			continue
+		}
+		m := Message{Src: s.Proc, SentAt: s.Start, InjectEnd: s.End}
+		m.Dst, _ = strconv.Atoi(s.Args[mpi.ArgPeer])
+		m.Tag, _ = strconv.Atoi(s.Args[mpi.ArgTag])
+		m.Bytes, _ = strconv.ParseInt(s.Args[mpi.ArgBytes], 10, 64)
+		m.Fabric = s.Args[mpi.ArgFabric]
+		if v, err := strconv.ParseFloat(s.Args[mpi.ArgArrives], 64); err == nil {
+			m.ArrivesAt = v
+		} else {
+			m.ArrivesAt = m.InjectEnd
+		}
+		msgs = append(msgs, m)
+	}
+	sort.SliceStable(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		switch {
+		case a.SentAt != b.SentAt:
+			return a.SentAt < b.SentAt
+		case a.Src != b.Src:
+			return a.Src < b.Src
+		case a.Dst != b.Dst:
+			return a.Dst < b.Dst
+		}
+		return a.Tag < b.Tag
+	})
+	return msgs
+}
+
+// Cost categories of the verdict taxonomy.
+const (
+	CatKernel        = "kernel"        // device-memory-bound spMVM work (Eq. 1)
+	CatPCIe          = "pcie"          // host↔device transfers (Eq. 2's T_PCI)
+	CatCommunication = "communication" // MPI driving, serialization, wire
+	CatImbalance     = "imbalance"     // idle gaps and straggler waits
+	CatOther         = "other"
+)
+
+// Verdicts name the dominant cost category of a critical path.
+var verdictFor = map[string]string{
+	CatKernel:        "bandwidth-bound",
+	CatPCIe:          "PCIe-bound",
+	CatCommunication: "communication-bound",
+	CatImbalance:     "imbalance-bound",
+	CatOther:         "other-bound",
+}
+
+// CategoryOf maps a span's lane and name to its cost category, using
+// the vocabulary of internal/distmv (host/gpu lanes), internal/mpi
+// (mpi/net lanes) and internal/distsolver (solver lane).
+func CategoryOf(lane, name string) string {
+	switch lane {
+	case "net", mpi.SpanLane:
+		return CatCommunication
+	case "host":
+		return CatCommunication // local gather + MPI driving (Fig. 4 thread 0)
+	case "gpu":
+		if strings.Contains(name, "spMVM") {
+			return CatKernel
+		}
+		return CatPCIe // upload RHS / upload halo / download LHS
+	case "solver":
+		switch {
+		case strings.Contains(name, "spMVM"):
+			return CatKernel
+		case strings.Contains(name, "exchange"):
+			return CatCommunication
+		}
+		return CatOther
+	case laneIdle:
+		return CatImbalance
+	}
+	return CatOther
+}
+
+// laneIdle is the synthetic lane idle gaps are attributed to.
+const laneIdle = "idle"
+
+// Segment is one attributed stretch of the critical path, in walk
+// order (earliest first after Path reverses them).
+type Segment struct {
+	Proc       int     `json:"proc"`
+	Lane       string  `json:"lane"`
+	Name       string  `json:"name"`
+	Start, End float64 `json:"-"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// Contributor aggregates path time per rank × lane × span name.
+type Contributor struct {
+	Proc     int     `json:"proc"`
+	Lane     string  `json:"lane"`
+	Name     string  `json:"name"`
+	Seconds  float64 `json:"seconds"`
+	Fraction float64 `json:"fraction"` // of PathSeconds
+}
+
+// PathReport is the outcome of the critical-path extraction.
+type PathReport struct {
+	// MakespanSeconds is the span of the whole timeline (max End −
+	// min Start over all spans); PathSeconds the attributed path time.
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	PathSeconds     float64 `json:"path_seconds"`
+	// Segments is the path itself, earliest first. Contributors ranks
+	// the aggregation per rank × lane × name, largest first, and
+	// Categories sums path seconds per cost category.
+	Segments     []Segment          `json:"segments"`
+	Contributors []Contributor      `json:"contributors"`
+	Categories   map[string]float64 `json:"categories"`
+	// Verdict names the dominant category: bandwidth-bound,
+	// PCIe-bound, communication-bound, or imbalance-bound.
+	Verdict string `json:"verdict"`
+}
+
+// walker holds the state of one backward traversal.
+type walker struct {
+	byProc map[int][]telemetry.Span // nodes per rank, sorted by Start
+	byDst  map[int][]Message        // messages per destination rank
+	used   map[spanKey]bool
+	segs   []Segment
+}
+
+// spanKey identifies a node span for the used-set (spans are values,
+// and the deterministic sort makes this key unique enough: two truly
+// identical spans are interchangeable on the path).
+type spanKey struct {
+	proc       int
+	lane, name string
+	start, end float64
+}
+
+func keyOf(s telemetry.Span) spanKey {
+	return spanKey{s.Proc, s.Lane, s.Name, s.Start, s.End}
+}
+
+// eps returns the comparison tolerance at time t.
+func eps(t float64) float64 {
+	a := t
+	if a < 0 {
+		a = -a
+	}
+	if a < 1 {
+		a = 1
+	}
+	return 1e-9 * a
+}
+
+// Path extracts the critical path from a span log. Message spans
+// (mpi "send") act as cross-rank edges rather than nodes; everything
+// else — compute phases, waits, collectives — is a node. The walk is
+// fully deterministic for a deterministic simulation.
+func Path(spans []telemetry.Span) PathReport {
+	rep := PathReport{Categories: map[string]float64{}}
+	if len(spans) == 0 {
+		rep.Verdict = verdictFor[CatOther]
+		return rep
+	}
+	w := &walker{
+		byProc: map[int][]telemetry.Span{},
+		byDst:  map[int][]Message{},
+		used:   map[spanKey]bool{},
+	}
+	minStart, maxEnd := spans[0].Start, spans[0].End
+	var start telemetry.Span
+	haveStart := false
+	for _, s := range spans {
+		if s.Start < minStart {
+			minStart = s.Start
+		}
+		if s.End > maxEnd {
+			maxEnd = s.End
+		}
+		if s.Lane == mpi.SpanLane && s.Name == mpi.SpanSend {
+			continue // message record, not a node
+		}
+		w.byProc[s.Proc] = append(w.byProc[s.Proc], s)
+		// The walk starts at the globally last-ending node
+		// (tie-break: min Proc, Lane, Name — matching SpanLog order).
+		if !haveStart || s.End > start.End {
+			start, haveStart = s, true
+		}
+	}
+	for p := range w.byProc {
+		sort.SliceStable(w.byProc[p], func(i, j int) bool {
+			a, b := w.byProc[p][i], w.byProc[p][j]
+			switch {
+			case a.Start != b.Start:
+				return a.Start < b.Start
+			case a.Lane != b.Lane:
+				return a.Lane < b.Lane
+			case a.Name != b.Name:
+				return a.Name < b.Name
+			}
+			return a.End < b.End
+		})
+	}
+	for _, m := range ExtractMessages(spans) {
+		w.byDst[m.Dst] = append(w.byDst[m.Dst], m)
+	}
+	rep.MakespanSeconds = maxEnd - minStart
+	if !haveStart {
+		rep.Verdict = verdictFor[CatOther]
+		return rep
+	}
+
+	w.walk(start.Proc, maxEnd, minStart, len(spans))
+
+	// Segments were appended latest-first; flip to timeline order.
+	for i, j := 0, len(w.segs)-1; i < j; i, j = i+1, j-1 {
+		w.segs[i], w.segs[j] = w.segs[j], w.segs[i]
+	}
+	rep.Segments = w.segs
+	agg := map[spanKey]*Contributor{}
+	for _, sg := range w.segs {
+		rep.PathSeconds += sg.Seconds
+		rep.Categories[CategoryOf(sg.Lane, sg.Name)] += sg.Seconds
+		k := spanKey{proc: sg.Proc, lane: sg.Lane, name: sg.Name}
+		if agg[k] == nil {
+			agg[k] = &Contributor{Proc: sg.Proc, Lane: sg.Lane, Name: sg.Name}
+		}
+		agg[k].Seconds += sg.Seconds
+	}
+	for _, c := range agg {
+		if rep.PathSeconds > 0 {
+			c.Fraction = c.Seconds / rep.PathSeconds
+		}
+		rep.Contributors = append(rep.Contributors, *c)
+	}
+	sort.SliceStable(rep.Contributors, func(i, j int) bool {
+		a, b := rep.Contributors[i], rep.Contributors[j]
+		switch {
+		case a.Seconds != b.Seconds:
+			return a.Seconds > b.Seconds
+		case a.Proc != b.Proc:
+			return a.Proc < b.Proc
+		case a.Lane != b.Lane:
+			return a.Lane < b.Lane
+		}
+		return a.Name < b.Name
+	})
+	rep.Verdict = dominantVerdict(rep.Categories)
+	return rep
+}
+
+// dominantVerdict names the largest cost category (deterministic
+// tie-break by category name).
+func dominantVerdict(cats map[string]float64) string {
+	best, bestSec := CatOther, -1.0
+	for _, cat := range []string{CatCommunication, CatImbalance, CatKernel, CatOther, CatPCIe} {
+		if sec := cats[cat]; sec > bestSec {
+			best, bestSec = cat, sec
+		}
+	}
+	if bestSec <= 0 {
+		return verdictFor[CatOther]
+	}
+	return verdictFor[best]
+}
+
+// emit appends one attributed segment (zero-length segments are kept
+// out of the report).
+func (w *walker) emit(proc int, lane, name string, start, end float64) {
+	if end <= start {
+		return
+	}
+	w.segs = append(w.segs, Segment{
+		Proc: proc, Lane: lane, Name: name,
+		Start: start, End: end, Seconds: end - start,
+	})
+}
+
+// pred finds the best predecessor node on proc at time t: among spans
+// with Start ≤ t+ε not yet used, the one whose coverage min(End, t) is
+// largest; ties prefer the latest Start (the innermost enclosing
+// span), then the SpanLog order of lane and name.
+func (w *walker) pred(proc int, t float64) (telemetry.Span, bool) {
+	var best telemetry.Span
+	found := false
+	bestCover, bestStart := 0.0, 0.0
+	for _, s := range w.byProc[proc] {
+		if s.Start > t+eps(t) {
+			break // sorted by Start
+		}
+		if w.used[keyOf(s)] {
+			continue
+		}
+		cover := s.End
+		if cover > t {
+			cover = t
+		}
+		switch {
+		case !found, cover > bestCover+eps(t):
+			// strictly better
+		case cover < bestCover-eps(t):
+			continue
+		case s.Start > bestStart:
+			// equal coverage, inner span wins
+		default:
+			continue
+		}
+		best, found, bestCover, bestStart = s, true, cover, s.Start
+	}
+	return best, found
+}
+
+// gating returns the message into proc whose arrival at time t gated a
+// blocked wait that began at waitStart, if any. Candidates must arrive
+// within ε of t and strictly after the wait was posted; the latest
+// injection wins (it is the transfer that actually finished last).
+func (w *walker) gating(proc int, t, waitStart float64) (Message, bool) {
+	var best Message
+	found := false
+	for _, m := range w.byDst[proc] {
+		d := m.ArrivesAt - t
+		if d < -eps(t) || d > eps(t) {
+			continue
+		}
+		if m.ArrivesAt <= waitStart+eps(t) {
+			continue // arrived before the wait even started
+		}
+		if !found || m.InjectEnd > best.InjectEnd ||
+			(m.InjectEnd == best.InjectEnd && m.Src < best.Src) {
+			best, found = m, true
+		}
+	}
+	return best, found
+}
+
+// walk performs the backward traversal from (proc, t) down to the
+// timeline origin, appending segments latest-first.
+func (w *walker) walk(proc int, t, origin float64, nSpans int) {
+	// Each step either consumes a node or strictly lowers t; the cap is
+	// a belt-and-braces guard against malformed logs.
+	for steps := 0; steps < 10*nSpans+1000; steps++ {
+		if t <= origin+eps(t) {
+			return
+		}
+		s, ok := w.pred(proc, t)
+		if !ok {
+			return
+		}
+		e := s.End
+		if e > t {
+			e = t
+		}
+		if e < t-eps(t) {
+			// Nothing on this rank covers (e, t]: an idle gap — the rank
+			// waited for something the log does not explain (imbalance).
+			w.emit(proc, laneIdle, "(idle)", e, t)
+			t = e
+		}
+		atEnd := t >= s.End-eps(t)
+
+		// Message edge: a communication span that ended exactly when a
+		// message arrived was blocked on that transfer. Hop to the
+		// sender: wire and serialization go on the path, the blocked
+		// wait itself does not.
+		if atEnd && CategoryOf(s.Lane, s.Name) == CatCommunication {
+			if m, ok := w.gating(proc, t, s.Start); ok {
+				w.emit(m.Src, "net", "wire", m.InjectEnd, t)
+				w.emit(m.Src, mpi.SpanLane, mpi.SpanSend, m.SentAt, m.InjectEnd)
+				proc, t = m.Src, m.SentAt
+				continue
+			}
+		}
+
+		// Collective edge: hop to the straggler (root) rank that set the
+		// release time; its entry-to-release interval is the path cost.
+		if s.Lane == mpi.SpanLane && s.Args[mpi.ArgOp] != "" {
+			root, _ := strconv.Atoi(s.Args[mpi.ArgRoot])
+			rs, ok := s, true
+			if root != proc {
+				rs, ok = w.collective(root, s.Args[mpi.ArgOp], s.Args[mpi.ArgGen])
+			}
+			if ok {
+				w.used[keyOf(s)] = true
+				w.used[keyOf(rs)] = true
+				w.emit(rs.Proc, mpi.SpanLane, s.Args[mpi.ArgOp], rs.Start, t)
+				proc, t = rs.Proc, rs.Start
+				continue
+			}
+		}
+
+		// Program-order edge: attribute the stretch of s down to the
+		// next event boundary on this rank — either s's own start (s is
+		// then consumed) or the end of another span nested inside s
+		// (the walk resumes there, typically on the inner span).
+		stop := s.Start
+		for _, o := range w.byProc[proc] {
+			if o.Start > t {
+				break
+			}
+			if o.End < t-eps(t) && o.End > stop && !w.used[keyOf(o)] && keyOf(o) != keyOf(s) {
+				stop = o.End
+			}
+		}
+		w.emit(proc, s.Lane, s.Name, stop, t)
+		if stop <= s.Start+eps(t) {
+			w.used[keyOf(s)] = true
+		}
+		t = stop
+	}
+}
+
+// collective finds root's span of the given op and generation.
+func (w *walker) collective(root int, op, gen string) (telemetry.Span, bool) {
+	for _, s := range w.byProc[root] {
+		if s.Lane == mpi.SpanLane && s.Args[mpi.ArgOp] == op && s.Args[mpi.ArgGen] == gen {
+			return s, true
+		}
+	}
+	return telemetry.Span{}, false
+}
+
+// TopContributors returns the first n contributors (all when n ≤ 0 or
+// fewer exist).
+func (r PathReport) TopContributors(n int) []Contributor {
+	if n <= 0 || n > len(r.Contributors) {
+		n = len(r.Contributors)
+	}
+	return r.Contributors[:n]
+}
+
+// String summarizes the report in one line.
+func (r PathReport) String() string {
+	return fmt.Sprintf("critical path %.3gs of %.3gs makespan, %s",
+		r.PathSeconds, r.MakespanSeconds, r.Verdict)
+}

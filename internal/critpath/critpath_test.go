@@ -1,0 +1,278 @@
+package critpath
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"pjds/internal/telemetry"
+)
+
+// sp builds a plain node span.
+func sp(proc int, lane, cat, name string, start, end float64) telemetry.Span {
+	return telemetry.Span{Proc: proc, Lane: lane, Cat: cat, Name: name, Start: start, End: end}
+}
+
+// sendSpan builds an mpi send record like internal/mpi emits.
+func sendSpan(src, dst int, sentAt, injectEnd, arrivesAt float64, bytes int64) telemetry.Span {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return telemetry.Span{
+		Proc: src, Lane: "mpi", Cat: "net", Name: "send",
+		Start: sentAt, End: injectEnd,
+		Args: map[string]string{
+			"peer": strconv.Itoa(dst), "tag": "0",
+			"bytes": strconv.FormatInt(bytes, 10),
+			"sent":  f(sentAt), "arrives": f(arrivesAt),
+		},
+	}
+}
+
+func TestExtractMessages(t *testing.T) {
+	spans := []telemetry.Span{
+		sp(0, "gpu", "gpu", "spMVM", 0, 1),
+		sendSpan(1, 0, 2.0, 2.5, 3.0, 4096),
+		sendSpan(0, 1, 1.0, 1.25, 1.5, 2048),
+	}
+	msgs := ExtractMessages(spans)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2", len(msgs))
+	}
+	m := msgs[0] // sorted by SentAt
+	if m.Src != 0 || m.Dst != 1 || m.Bytes != 2048 {
+		t.Errorf("first message = %+v", m)
+	}
+	if m.SentAt != 1.0 || m.InjectEnd != 1.25 || m.ArrivesAt != 1.5 {
+		t.Errorf("times = %g/%g/%g", m.SentAt, m.InjectEnd, m.ArrivesAt)
+	}
+	if got := m.WireSeconds(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("WireSeconds = %g", got)
+	}
+}
+
+// TestPathSingleRank: a serial pipeline on one rank attributes every
+// phase and classifies the dominant one.
+func TestPathSingleRank(t *testing.T) {
+	spans := []telemetry.Span{
+		sp(0, "host", "comm", "local gather", 0, 1),
+		sp(0, "gpu", "gpu", "upload RHS", 1, 2),
+		sp(0, "gpu", "gpu", "spMVM", 2, 8),
+		sp(0, "gpu", "gpu", "download LHS", 8, 9),
+	}
+	rep := Path(spans)
+	if rep.Verdict != "bandwidth-bound" {
+		t.Errorf("verdict = %q", rep.Verdict)
+	}
+	if math.Abs(rep.PathSeconds-9) > 1e-9 || math.Abs(rep.MakespanSeconds-9) > 1e-9 {
+		t.Errorf("path %g makespan %g, want 9", rep.PathSeconds, rep.MakespanSeconds)
+	}
+	if len(rep.Segments) != 4 {
+		t.Fatalf("segments = %+v", rep.Segments)
+	}
+	if rep.Segments[0].Name != "local gather" || rep.Segments[3].Name != "download LHS" {
+		t.Errorf("segment order: %+v", rep.Segments)
+	}
+	if rep.Contributors[0].Name != "spMVM" || math.Abs(rep.Contributors[0].Seconds-6) > 1e-9 {
+		t.Errorf("top contributor: %+v", rep.Contributors[0])
+	}
+	if got := rep.Categories[CatKernel]; math.Abs(got-6) > 1e-9 {
+		t.Errorf("kernel seconds = %g", got)
+	}
+}
+
+// TestPathMessageHop: rank 0's wait ends when rank 1's message
+// arrives; the path must route through rank 1's compute, the send
+// serialization, and the wire.
+func TestPathMessageHop(t *testing.T) {
+	spans := []telemetry.Span{
+		// Rank 1 computes until t=5, then sends (inject 5..6, arrive 7).
+		sp(1, "gpu", "gpu", "spMVM", 0, 5),
+		sp(1, "host", "comm", "MPI_Waitall", 5, 6),
+		sendSpan(1, 0, 5, 6, 7, 1<<20),
+		// Rank 0 posts early and blocks until the arrival at t=7.
+		sp(0, "host", "comm", "local gather", 0, 0.5),
+		sp(0, "host", "comm", "MPI_Waitall", 0.5, 7),
+		sp(0, "gpu", "gpu", "non-local spMVM", 7, 8),
+	}
+	rep := Path(spans)
+	if rep.Verdict != "bandwidth-bound" {
+		t.Errorf("verdict = %q (categories %v)", rep.Verdict, rep.Categories)
+	}
+	// Expect: r1 spMVM [0,5] → r1 send [5,6] → wire [6,7] → r0 kernel [7,8].
+	var names []string
+	for _, s := range rep.Segments {
+		names = append(names, s.Name)
+	}
+	want := []string{"spMVM", "send", "wire", "non-local spMVM"}
+	if len(names) != len(want) {
+		t.Fatalf("segments %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("segments %v, want %v", names, want)
+		}
+	}
+	if rep.Segments[0].Proc != 1 || rep.Segments[3].Proc != 0 {
+		t.Errorf("procs: %+v", rep.Segments)
+	}
+	// The blocked wait on rank 0 must NOT be attributed.
+	for _, c := range rep.Contributors {
+		if c.Proc == 0 && c.Name == "MPI_Waitall" {
+			t.Errorf("blocked wait on the path: %+v", c)
+		}
+	}
+	if got := rep.Categories[CatCommunication]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("communication seconds = %g, want 2 (send+wire)", got)
+	}
+}
+
+// TestPathCollectiveHop: the release time of a collective is set by
+// the straggler; the path must jump to it.
+func TestPathCollectiveHop(t *testing.T) {
+	coll := func(proc int, entry, release float64, root int) telemetry.Span {
+		return telemetry.Span{
+			Proc: proc, Lane: "mpi", Cat: "net", Name: "allreduce_max",
+			Start: entry, End: release,
+			Args: map[string]string{"op": "allreduce_max", "root": strconv.Itoa(root), "gen": "0"},
+		}
+	}
+	spans := []telemetry.Span{
+		sp(0, "gpu", "gpu", "spMVM", 0, 1),
+		sp(1, "gpu", "gpu", "spMVM", 0, 4), // straggler
+		coll(0, 1, 4.5, 1),
+		coll(1, 4, 4.5, 1),
+	}
+	rep := Path(spans)
+	// Path: r1 spMVM [0,4] → r1 allreduce [4,4.5].
+	if len(rep.Segments) != 2 {
+		t.Fatalf("segments: %+v", rep.Segments)
+	}
+	if rep.Segments[0].Proc != 1 || rep.Segments[0].Name != "spMVM" {
+		t.Errorf("first segment: %+v", rep.Segments[0])
+	}
+	if rep.Segments[1].Name != "allreduce_max" || rep.Segments[1].Proc != 1 {
+		t.Errorf("second segment: %+v", rep.Segments[1])
+	}
+	if math.Abs(rep.PathSeconds-4.5) > 1e-9 {
+		t.Errorf("path = %g", rep.PathSeconds)
+	}
+}
+
+// TestPathIdleGap: an uncovered stretch becomes an imbalance segment.
+func TestPathIdleGap(t *testing.T) {
+	spans := []telemetry.Span{
+		sp(0, "gpu", "gpu", "spMVM", 0, 2),
+		sp(0, "gpu", "gpu", "download LHS", 5, 6),
+	}
+	rep := Path(spans)
+	if got := rep.Categories[CatImbalance]; math.Abs(got-3) > 1e-9 {
+		t.Errorf("imbalance = %g, want 3 (gap 2..5); segments %+v", got, rep.Segments)
+	}
+	if rep.Verdict != "imbalance-bound" {
+		t.Errorf("verdict = %q", rep.Verdict)
+	}
+}
+
+// TestPathNestedSpans: an enclosing iteration span must not swallow
+// the inner phases (the walk stops at inner span boundaries).
+func TestPathNestedSpans(t *testing.T) {
+	spans := []telemetry.Span{
+		sp(0, "solver", "solver", "CG iteration", 0, 10),
+		sp(0, "solver", "comm", "halo exchange", 1, 3),
+		sp(0, "solver", "gpu", "spMVM", 3, 9),
+	}
+	rep := Path(spans)
+	if got := rep.Categories[CatKernel]; math.Abs(got-6) > 1e-9 {
+		t.Errorf("kernel = %g; segments %+v", got, rep.Segments)
+	}
+	// The enclosing span only picks up what the inner ones do not
+	// cover: [0,1] and [9,10].
+	var enclosing float64
+	for _, s := range rep.Segments {
+		if s.Name == "CG iteration" {
+			enclosing += s.Seconds
+		}
+	}
+	if math.Abs(enclosing-2) > 1e-9 {
+		t.Errorf("enclosing span carries %g s, want 2; segments %+v", enclosing, rep.Segments)
+	}
+}
+
+func TestPathEmpty(t *testing.T) {
+	rep := Path(nil)
+	if rep.PathSeconds != 0 || len(rep.Segments) != 0 {
+		t.Errorf("empty log: %+v", rep)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	spans := []telemetry.Span{
+		// Rank 0 receives a transfer spanning [1, 3]; its GPU is busy
+		// [0, 2]: half the wire time is hidden.
+		sendSpan(1, 0, 1, 1.5, 3, 1024),
+		sp(0, "gpu", "gpu", "local spMVM", 0, 2),
+		// Rank 1 receives [0, 2] with no device work: nothing hidden.
+		sendSpan(0, 1, 0, 1, 2, 1024),
+	}
+	rep := Overlap(spans)
+	if len(rep.Ranks) != 2 {
+		t.Fatalf("ranks: %+v", rep.Ranks)
+	}
+	r0 := rep.Ranks[0]
+	if r0.Rank != 0 || math.Abs(r0.WireSeconds-2) > 1e-9 || math.Abs(r0.HiddenSeconds-1) > 1e-9 {
+		t.Errorf("rank 0: %+v", r0)
+	}
+	if math.Abs(r0.Efficiency-0.5) > 1e-9 {
+		t.Errorf("rank 0 efficiency = %g", r0.Efficiency)
+	}
+	r1 := rep.Ranks[1]
+	if r1.HiddenSeconds != 0 || r1.Efficiency != 0 {
+		t.Errorf("rank 1: %+v", r1)
+	}
+	if math.Abs(rep.Efficiency-0.25) > 1e-9 {
+		t.Errorf("aggregate = %g", rep.Efficiency)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	merged := merge([]interval{{0, 2}, {1, 3}, {5, 6}})
+	if len(merged) != 2 || merged[0] != (interval{0, 3}) || merged[1] != (interval{5, 6}) {
+		t.Errorf("merge: %+v", merged)
+	}
+	if got := measure(merged); math.Abs(got-4) > 1e-12 {
+		t.Errorf("measure = %g", got)
+	}
+	if got := intersect(merged, []interval{{2, 5.5}}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("intersect = %g", got)
+	}
+}
+
+func TestAttributeKernels(t *testing.T) {
+	lbl := func(rank, phase string) map[string]string {
+		return map[string]string{"kernel": "ellpack-r", "device": "C2050", "rank": rank, "phase": phase}
+	}
+	series := []telemetry.Series{
+		{Name: "gpu_kernel_nnz_total", Type: "counter", Labels: lbl("0", "local"), Value: 1000},
+		{Name: "gpu_kernel_rows_total", Type: "counter", Labels: lbl("0", "local"), Value: 100},
+		{Name: "gpu_kernel_alpha", Type: "gauge", Labels: lbl("0", "local"), Value: 0.2},
+		{Name: "gpu_kernel_code_balance", Type: "gauge", Labels: lbl("0", "local"), Value: 7.6},
+		{Name: "gpu_kernel_coalescing_efficiency", Type: "gauge", Labels: lbl("0", "local"), Value: 0.99},
+		{Name: "gpu_kernel_gflops", Type: "gauge", Labels: lbl("0", "local"), Value: 12.5},
+		// A second, empty phase must be skipped.
+		{Name: "gpu_kernel_nnz_total", Type: "counter", Labels: lbl("0", "non-local"), Value: 0},
+	}
+	entries := AttributeKernels(series)
+	if len(entries) != 1 {
+		t.Fatalf("entries: %+v", entries)
+	}
+	e := entries[0]
+	if e.Rank != 0 || e.Phase != "local" || e.NnzPerRow != 10 {
+		t.Errorf("entry: %+v", e)
+	}
+	// Predicted: 6 + 4·0.2 + 8/10 = 7.6 → deviation 0.
+	if math.Abs(e.PredictedDP-7.6) > 1e-12 || math.Abs(e.DeviationPct) > 1e-9 {
+		t.Errorf("model: predicted %g deviation %g%%", e.PredictedDP, e.DeviationPct)
+	}
+	if e.Note != "" {
+		t.Errorf("unexpected note %q", e.Note)
+	}
+}

@@ -1,0 +1,105 @@
+package critpath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	doc := []byte(`{"entries":[{"gflops":12.5,"seconds":0.01}],"label":"x"}`)
+	findings, err := Diff(doc, doc, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("identical docs produced findings: %+v", findings)
+	}
+}
+
+func TestDiffDirections(t *testing.T) {
+	oldDoc := []byte(`{"gflops":10,"seconds":1.0,"nnz":5}`)
+	newDoc := []byte(`{"gflops":8,"seconds":0.5,"nnz":6}`)
+	findings, err := Diff(oldDoc, newDoc, DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, f := range findings {
+		got[f.Path] = f.Verdict
+	}
+	if got["gflops"] != DiffRegression {
+		t.Errorf("gflops verdict %q", got["gflops"])
+	}
+	if got["seconds"] != DiffImprovement {
+		t.Errorf("seconds verdict %q", got["seconds"])
+	}
+	// nnz has no direction: any drift in a deterministic run is a
+	// regression.
+	if got["nnz"] != DiffRegression {
+		t.Errorf("nnz verdict %q", got["nnz"])
+	}
+}
+
+func TestDiffToleranceBands(t *testing.T) {
+	oldDoc := []byte(`{"gflops":100,"seconds":1.0}`)
+	newDoc := []byte(`{"gflops":99,"seconds":1.04}`)
+	// Default 2% band: both within.
+	findings, err := Diff(oldDoc, newDoc, DiffOptions{
+		Tolerance: 0.02,
+		PerMetric: map[string]float64{"seconds": 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("within-band changes reported: %+v", findings)
+	}
+	// Tighten seconds to 1%: becomes a regression.
+	findings, err = Diff(oldDoc, newDoc, DiffOptions{
+		Tolerance: 0.02,
+		PerMetric: map[string]float64{"seconds": 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Path != "seconds" || !findings[0].Regression() {
+		t.Errorf("findings: %+v", findings)
+	}
+}
+
+func TestDiffMissingAndAdded(t *testing.T) {
+	oldDoc := []byte(`{"a":1,"b":2}`)
+	newDoc := []byte(`{"b":2,"c":3}`)
+	findings, err := Diff(oldDoc, newDoc, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings: %+v", findings)
+	}
+	// Sorted by path: a (missing), c (added).
+	if findings[0].Path != "a" || findings[0].Verdict != DiffMissing || !findings[0].Regression() {
+		t.Errorf("missing finding: %+v", findings[0])
+	}
+	if findings[1].Path != "c" || findings[1].Verdict != DiffAdded || findings[1].Regression() {
+		t.Errorf("added finding: %+v", findings[1])
+	}
+	if !math.IsNaN(findings[0].New) || !math.IsNaN(findings[1].Old) {
+		t.Errorf("NaN sentinels missing: %+v", findings)
+	}
+}
+
+func TestDiffNestedPaths(t *testing.T) {
+	oldDoc := []byte(`{"entries":[{"gflops":10},{"gflops":20}]}`)
+	newDoc := []byte(`{"entries":[{"gflops":10},{"gflops":30}]}`)
+	findings, err := Diff(oldDoc, newDoc, DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Path != "entries[1].gflops" {
+		t.Fatalf("findings: %+v", findings)
+	}
+	if findings[0].Verdict != DiffImprovement {
+		t.Errorf("verdict %q", findings[0].Verdict)
+	}
+}

@@ -1,0 +1,123 @@
+package critpath_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pjds/internal/critpath"
+	"pjds/internal/distmv"
+	"pjds/internal/matgen"
+	"pjds/internal/telemetry"
+)
+
+// runMode executes one distributed spMVM benchmark and returns its
+// analysis inputs.
+func runMode(t *testing.T, mode distmv.Mode, p int) ([]telemetry.Span, []telemetry.Series) {
+	t.Helper()
+	m := matgen.Banded(3000, 5, 25, 200, 42)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1 + 0.001*float64(i%7)
+	}
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanLog()
+	if _, err := distmv.RunSpMVM(m, x, p, mode, distmv.Config{
+		Iterations: 2, Telemetry: reg, Spans: spans,
+	}); err != nil {
+		t.Fatalf("%s: %v", mode, err)
+	}
+	return spans.Spans(), reg.Snapshot()
+}
+
+// TestAnalyzeModes runs the three §III-A schemes through the full
+// analysis: every report must carry a non-empty path whose time is
+// bounded by the makespan, and task mode must hide strictly more wire
+// time than naive overlap (the point of Fig. 4).
+func TestAnalyzeModes(t *testing.T) {
+	const p = 4
+	eff := map[distmv.Mode]float64{}
+	for _, mode := range distmv.Modes() {
+		spans, metrics := runMode(t, mode, p)
+		rep := critpath.Analyze(mode.Slug(), spans, metrics)
+		if rep.Path.PathSeconds <= 0 {
+			t.Fatalf("%s: empty critical path", mode)
+		}
+		if rep.Path.PathSeconds > rep.Path.MakespanSeconds*(1+1e-9) {
+			t.Errorf("%s: path %g exceeds makespan %g", mode,
+				rep.Path.PathSeconds, rep.Path.MakespanSeconds)
+		}
+		if rep.Overlap.WireSeconds <= 0 {
+			t.Errorf("%s: no wire time reconstructed", mode)
+		}
+		if len(rep.Kernels) == 0 {
+			t.Errorf("%s: no kernel attribution entries", mode)
+		}
+		for _, e := range rep.Kernels {
+			if e.PredictedDP <= 0 || e.MeasuredBalance <= 0 {
+				t.Errorf("%s: degenerate kernel entry %+v", mode, e)
+			}
+		}
+		var text bytes.Buffer
+		if err := rep.WriteText(&text); err != nil {
+			t.Fatalf("%s: WriteText: %v", mode, err)
+		}
+		if text.Len() == 0 {
+			t.Errorf("%s: empty text report", mode)
+		}
+		eff[mode] = rep.Overlap.Efficiency
+	}
+	if eff[distmv.TaskMode] <= eff[distmv.NaiveOverlap] {
+		t.Errorf("task-mode overlap efficiency %.3f not above naive overlap %.3f",
+			eff[distmv.TaskMode], eff[distmv.NaiveOverlap])
+	}
+	if eff[distmv.TaskMode] <= 0.1 {
+		t.Errorf("task mode hides only %.1f%% of wire time", 100*eff[distmv.TaskMode])
+	}
+}
+
+// TestAnalyzeDeterministic: identical runs must produce identical
+// reports (the property the regression gate relies on).
+func TestAnalyzeDeterministic(t *testing.T) {
+	dump := func() []byte {
+		spans, metrics := runMode(t, distmv.TaskMode, 3)
+		var buf bytes.Buffer
+		if err := critpath.Analyze("det", spans, metrics).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a, b) {
+		t.Error("reports differ between identical runs")
+	}
+	// And the gate itself sees zero regressions on them.
+	findings, err := critpath.Diff(a, b, critpath.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("self-diff produced findings: %+v", findings)
+	}
+}
+
+// TestPathConservation: on every mode the per-category times sum to
+// the path total.
+func TestPathConservation(t *testing.T) {
+	spans, _ := runMode(t, distmv.VectorMode, 3)
+	rep := critpath.Path(spans)
+	var sum float64
+	for _, s := range rep.Categories {
+		sum += s
+	}
+	if math.Abs(sum-rep.PathSeconds) > 1e-9*math.Max(1, rep.PathSeconds) {
+		t.Errorf("categories sum %g != path %g", sum, rep.PathSeconds)
+	}
+	var segSum float64
+	for _, s := range rep.Segments {
+		segSum += s.Seconds
+	}
+	if math.Abs(segSum-rep.PathSeconds) > 1e-9 {
+		t.Errorf("segments sum %g != path %g", segSum, rep.PathSeconds)
+	}
+}

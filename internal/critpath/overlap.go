@@ -1,0 +1,134 @@
+package critpath
+
+import (
+	"sort"
+
+	"pjds/internal/telemetry"
+)
+
+// RankOverlap reports how much of one rank's incoming wire time was
+// hidden under concurrent device work.
+type RankOverlap struct {
+	Rank int `json:"rank"`
+	// WireSeconds is the union measure of this rank's incoming
+	// transfer intervals [SentAt, ArrivesAt]; HiddenSeconds the part of
+	// that union overlapping device (gpu-category) busy intervals.
+	WireSeconds   float64 `json:"wire_seconds"`
+	HiddenSeconds float64 `json:"hidden_seconds"`
+	// Efficiency = Hidden/Wire ∈ [0, 1] (0 when no wire time).
+	Efficiency float64 `json:"efficiency"`
+}
+
+// OverlapReport quantifies §III-A's communication hiding: vector mode
+// serializes everything (≈0), naive overlap gains nothing without
+// asynchronous MPI progress (≈0), task mode hides the exchange under
+// the local kernel (>0, Fig. 4).
+type OverlapReport struct {
+	Ranks []RankOverlap `json:"ranks"`
+	// Aggregate is Σhidden/Σwire over all ranks.
+	WireSeconds   float64 `json:"wire_seconds"`
+	HiddenSeconds float64 `json:"hidden_seconds"`
+	Efficiency    float64 `json:"efficiency"`
+}
+
+// interval is a half-open [lo, hi) stretch of virtual time.
+type interval struct{ lo, hi float64 }
+
+// merge unions overlapping intervals in place, returning them sorted.
+func merge(iv []interval) []interval {
+	if len(iv) == 0 {
+		return iv
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].lo < iv[j].lo })
+	out := iv[:1]
+	for _, x := range iv[1:] {
+		last := &out[len(out)-1]
+		if x.lo <= last.hi {
+			if x.hi > last.hi {
+				last.hi = x.hi
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// measure sums interval lengths.
+func measure(iv []interval) float64 {
+	total := 0.0
+	for _, x := range iv {
+		total += x.hi - x.lo
+	}
+	return total
+}
+
+// intersect returns the measure of the intersection of two merged
+// interval sets.
+func intersect(a, b []interval) float64 {
+	total := 0.0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo, hi := a[i].lo, a[i].hi
+		if b[j].lo > lo {
+			lo = b[j].lo
+		}
+		if b[j].hi < hi {
+			hi = b[j].hi
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// Overlap computes per-rank and aggregate overlap efficiency from a
+// span log: wire intervals are the reconstructed messages' transfer
+// windows [SentAt, ArrivesAt] grouped by destination rank, and device
+// busy intervals the union of each rank's gpu-category spans (kernels
+// and PCIe transfers — everything the device does while the exchange
+// is in flight).
+func Overlap(spans []telemetry.Span) OverlapReport {
+	wire := map[int][]interval{}
+	busy := map[int][]interval{}
+	for _, m := range ExtractMessages(spans) {
+		if m.ArrivesAt > m.SentAt {
+			wire[m.Dst] = append(wire[m.Dst], interval{m.SentAt, m.ArrivesAt})
+		}
+	}
+	for _, s := range spans {
+		if s.Cat == "gpu" && s.End > s.Start {
+			busy[s.Proc] = append(busy[s.Proc], interval{s.Start, s.End})
+		}
+	}
+	ranks := make([]int, 0, len(wire))
+	for r := range wire {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	var rep OverlapReport
+	for _, r := range ranks {
+		wv := merge(wire[r])
+		ro := RankOverlap{
+			Rank:          r,
+			WireSeconds:   measure(wv),
+			HiddenSeconds: intersect(wv, merge(busy[r])),
+		}
+		if ro.WireSeconds > 0 {
+			ro.Efficiency = ro.HiddenSeconds / ro.WireSeconds
+		}
+		rep.Ranks = append(rep.Ranks, ro)
+		rep.WireSeconds += ro.WireSeconds
+		rep.HiddenSeconds += ro.HiddenSeconds
+	}
+	if rep.WireSeconds > 0 {
+		rep.Efficiency = rep.HiddenSeconds / rep.WireSeconds
+	}
+	return rep
+}

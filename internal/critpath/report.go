@@ -1,0 +1,124 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pjds/internal/telemetry"
+)
+
+// Report is the full causal performance report of one run: critical
+// path, overlap efficiency, and measured-vs-model kernel attribution.
+type Report struct {
+	// Label names the analyzed scenario (e.g. "task P=8"); free-form.
+	Label   string        `json:"label,omitempty"`
+	Path    PathReport    `json:"path"`
+	Overlap OverlapReport `json:"overlap"`
+	Kernels []KernelEntry `json:"kernels,omitempty"`
+}
+
+// Analyze runs every analysis on one span log plus an optional metrics
+// snapshot (nil skips the kernel attribution).
+func Analyze(label string, spans []telemetry.Span, metrics []telemetry.Series) *Report {
+	return &Report{
+		Label:   label,
+		Path:    Path(spans),
+		Overlap: Overlap(spans),
+		Kernels: AttributeKernels(metrics),
+	}
+}
+
+// CategorySummary renders the category split compactly, largest
+// first: "62% communication, 30% kernel, 8% pcie".
+func (r PathReport) CategorySummary() string {
+	if r.PathSeconds <= 0 {
+		return "empty path"
+	}
+	cats := make([]string, 0, len(r.Categories))
+	for c, sec := range r.Categories {
+		if sec > 0 {
+			cats = append(cats, c)
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		a, b := cats[i], cats[j]
+		if r.Categories[a] != r.Categories[b] {
+			return r.Categories[a] > r.Categories[b]
+		}
+		return a < b
+	})
+	parts := make([]string, 0, len(cats))
+	for _, c := range cats {
+		parts = append(parts, fmt.Sprintf("%.0f%% %s", 100*r.Categories[c]/r.PathSeconds, c))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable report.
+func (r *Report) WriteText(w io.Writer) error {
+	if r.Label != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", r.Label); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "critical path: %.4g ms over %.4g ms makespan — %s\n",
+		1e3*r.Path.PathSeconds, 1e3*r.Path.MakespanSeconds, r.Path.Verdict)
+
+	cats := make([]string, 0, len(r.Path.Categories))
+	for c := range r.Path.Categories {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		a, b := cats[i], cats[j]
+		if r.Path.Categories[a] != r.Path.Categories[b] {
+			return r.Path.Categories[a] > r.Path.Categories[b]
+		}
+		return a < b
+	})
+	for _, c := range cats {
+		sec := r.Path.Categories[c]
+		pct := 0.0
+		if r.Path.PathSeconds > 0 {
+			pct = 100 * sec / r.Path.PathSeconds
+		}
+		fmt.Fprintf(w, "  %-14s %9.4g ms  %5.1f%%\n", c, 1e3*sec, pct)
+	}
+
+	if top := r.Path.TopContributors(8); len(top) > 0 {
+		fmt.Fprintln(w, "top contributors (rank/lane/name):")
+		for _, c := range top {
+			fmt.Fprintf(w, "  r%-3d %-7s %-18s %9.4g ms  %5.1f%%\n",
+				c.Proc, c.Lane, c.Name, 1e3*c.Seconds, 100*c.Fraction)
+		}
+	}
+
+	if r.Overlap.WireSeconds > 0 {
+		fmt.Fprintf(w, "overlap: %.4g ms of %.4g ms wire time hidden under device work (%.0f%%)\n",
+			1e3*r.Overlap.HiddenSeconds, 1e3*r.Overlap.WireSeconds, 100*r.Overlap.Efficiency)
+	}
+
+	if len(r.Kernels) > 0 {
+		fmt.Fprintln(w, "kernel model attribution (Eq. 1, DP):")
+		fmt.Fprintf(w, "  %-4s %-10s %-10s %8s %7s %9s %9s %7s %8s\n",
+			"rank", "phase", "kernel", "nnzr", "alpha", "B_meas", "B_model", "dev%", "GF/s")
+		for _, e := range r.Kernels {
+			fmt.Fprintf(w, "  %-4d %-10s %-10s %8.2f %7.3f %9.3f %9.3f %+6.1f%% %8.2f\n",
+				e.Rank, e.Phase, e.Kernel, e.NnzPerRow, e.Alpha,
+				e.MeasuredBalance, e.PredictedDP, e.DeviationPct, e.GFlops)
+			if e.Note != "" {
+				fmt.Fprintf(w, "       ^ %s\n", e.Note)
+			}
+		}
+	}
+	return nil
+}

@@ -60,7 +60,7 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 	reg.Help("distmv_rank_halo_elems", "RHS elements received from other ranks per iteration")
 	reg.Help("distmv_rank_send_elems", "RHS elements sent to other ranks per iteration")
 	reg.Help("distmv_rank_neighbors", "ranks this rank exchanges halos with")
-	opts := mpi.Options{RanksPerNode: ranksPerNode, Intra: cfg.IntraNodeFabric, Metrics: reg}
+	opts := mpi.Options{RanksPerNode: ranksPerNode, Intra: cfg.IntraNodeFabric, Metrics: reg, Spans: cfg.Spans}
 	_, err = mpi.RunWithOptions(p, cfg.Fabric, opts, func(c *mpi.Comm) error {
 		rp := problems[c.Rank()]
 		nloc := rp.LocalRows()

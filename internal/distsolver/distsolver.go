@@ -10,6 +10,7 @@ package distsolver
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"pjds/internal/distmv"
 	"pjds/internal/formats"
@@ -172,7 +173,8 @@ func (op *Operator) Apply(y, x []float64) error {
 	err := op.Inst.spanned(op.c, op.RP.Rank, "comm", "halo exchange", n, func() (err error) {
 		halo, err = op.Halo.Exchange(x)
 		return err
-	})
+	}, "send_bytes", strconv.Itoa(8*op.RP.SendElems()),
+		"recv_bytes", strconv.Itoa(8*op.RP.HaloSize()))
 	if err != nil {
 		return err
 	}

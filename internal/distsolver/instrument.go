@@ -47,11 +47,19 @@ func (in *Instrument) emit(rank int, cat, name string, start, end float64, args 
 	})
 }
 
-// spanned runs f and logs its virtual duration on c's clock.
-func (in *Instrument) spanned(c *mpi.Comm, rank int, cat, name string, iter int, f func() error) error {
+// spanned runs f and logs its virtual duration on c's clock. kv holds
+// optional extra span args as key/value pairs (e.g. exchange byte
+// counts), so reports can attribute cost without re-deriving it.
+func (in *Instrument) spanned(c *mpi.Comm, rank int, cat, name string, iter int, f func() error, kv ...string) error {
 	start := c.Clock()
 	err := f()
-	in.emit(rank, cat, name, start, c.Clock(), map[string]string{"iteration": strconv.Itoa(iter)})
+	if in != nil && in.Spans != nil {
+		args := map[string]string{"iteration": strconv.Itoa(iter)}
+		for i := 0; i+1 < len(kv); i += 2 {
+			args[kv[i]] = kv[i+1]
+		}
+		in.emit(rank, cat, name, start, c.Clock(), args)
+	}
 	return err
 }
 

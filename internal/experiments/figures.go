@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"pjds/internal/core"
+	"pjds/internal/critpath"
 	"pjds/internal/distmv"
 	"pjds/internal/formats"
 	"pjds/internal/gpu"
@@ -13,6 +14,7 @@ import (
 	"pjds/internal/matrix"
 	"pjds/internal/pcie"
 	"pjds/internal/perfmodel"
+	"pjds/internal/telemetry"
 	"pjds/internal/textplot"
 )
 
@@ -143,6 +145,10 @@ type Fig5Config struct {
 	// admission check against its memory reproduces Fig. 5b's minimum
 	// node count.
 	Device *gpu.Device
+	// PerfReport attaches span instrumentation to every run and prints
+	// an inline critical-path / overlap summary under each scaling
+	// point (cmd/scaling -perfreport).
+	PerfReport bool
 }
 
 // RunFig5 reproduces the strong-scaling curves of Fig. 5 (DLR1 or
@@ -170,11 +176,17 @@ func RunFig5(cfg Fig5Config, w io.Writer) ([]ScalingPoint, error) {
 	}
 	for _, p := range cfg.Nodes {
 		for _, mode := range distmv.Modes() {
-			res, err := distmv.RunSpMVM(m, x, p, mode, distmv.Config{
+			dcfg := distmv.Config{
 				Iterations: cfg.Iterations,
 				Format:     cfg.Format,
 				Device:     cfg.Device,
-			})
+			}
+			var spans *telemetry.SpanLog
+			if cfg.PerfReport {
+				spans = telemetry.NewSpanLog()
+				dcfg.Spans = spans
+			}
+			res, err := distmv.RunSpMVM(m, x, p, mode, dcfg)
 			if errors.Is(err, distmv.ErrDeviceMemory) {
 				// The paper hits the same wall: UHBR does not fit on
 				// fewer than five C2050 nodes (Fig. 5b).
@@ -204,6 +216,11 @@ func RunFig5(cfg Fig5Config, w io.Writer) ([]ScalingPoint, error) {
 			s.Y = append(s.Y, res.GFlops)
 			fmt.Fprintf(w, "%-8s P=%-3d %-24s %7.2f GF/s  (%.3g s/iter, err %.1e)\n",
 				cfg.Matrix, p, mode, res.GFlops, res.PerIterSeconds, rel)
+			if cfg.PerfReport {
+				rep := critpath.Analyze("", spans.Spans(), nil)
+				fmt.Fprintf(w, "%14s %s: %s; overlap %.0f%%\n", "", rep.Path.Verdict,
+					rep.Path.CategorySummary(), 100*rep.Overlap.Efficiency)
+			}
 		}
 	}
 	var list []textplot.Series

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pjds/internal/critpath"
+	"pjds/internal/distmv"
+	"pjds/internal/telemetry"
+)
+
+// PerfReportConfig parameterizes a per-mode causal analysis run: the
+// same benchmark as Fig. 5 at one node count, but with full span and
+// metrics instrumentation feeding internal/critpath.
+type PerfReportConfig struct {
+	Matrix     string
+	Scale      float64
+	Ranks      int
+	Iterations int
+	Format     distmv.FormatKind
+	// Modes restricts the analysis (nil = all three §III-A schemes).
+	Modes []distmv.Mode
+}
+
+// ModeReport couples one (mode, P) benchmark outcome with its causal
+// performance report.
+type ModeReport struct {
+	Mode           string           `json:"mode"`
+	Ranks          int              `json:"ranks"`
+	GFlops         float64          `json:"gflops"`
+	PerIterSeconds float64          `json:"per_iter_seconds"`
+	Report         *critpath.Report `json:"report"`
+}
+
+// RunPerfReports executes the distributed benchmark once per mode with
+// instrumentation attached and returns the analyses in mode order.
+func RunPerfReports(cfg PerfReportConfig) ([]ModeReport, error) {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 8
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2
+	}
+	modes := cfg.Modes
+	if len(modes) == 0 {
+		modes = distmv.Modes()
+	}
+	m, err := Matrix(cfg.Matrix, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	x := testVector(m.NCols)
+	var out []ModeReport
+	for _, mode := range modes {
+		reg := telemetry.NewRegistry()
+		spans := telemetry.NewSpanLog()
+		res, err := distmv.RunSpMVM(m, x, cfg.Ranks, mode, distmv.Config{
+			Iterations: cfg.Iterations,
+			Format:     cfg.Format,
+			Telemetry:  reg,
+			Spans:      spans,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s P=%d %v: %w", cfg.Matrix, cfg.Ranks, mode, err)
+		}
+		label := fmt.Sprintf("%s %s P=%d", cfg.Matrix, mode.Slug(), cfg.Ranks)
+		out = append(out, ModeReport{
+			Mode:           mode.Slug(),
+			Ranks:          cfg.Ranks,
+			GFlops:         res.GFlops,
+			PerIterSeconds: res.PerIterSeconds,
+			Report:         critpath.Analyze(label, spans.Spans(), reg.Snapshot()),
+		})
+	}
+	return out, nil
+}

@@ -9,7 +9,14 @@ import "sync"
 // ranks in the same order, as in MPI.
 type rendezvousResult struct {
 	maxClock float64
+	// clocks holds every rank's arrival clock, so callers can identify
+	// the straggler (the critical-path analyzer follows collective
+	// edges to the rank that determined maxClock). gen is the
+	// generation index, a deterministic id matching the per-rank spans
+	// of one collective instance across ranks.
+	clocks   []float64
 	payloads []any
+	gen      int
 }
 
 type coordinator struct {
@@ -26,6 +33,7 @@ func newCoordinator(n int) *coordinator {
 	c := &coordinator{n: n}
 	c.cond = sync.NewCond(&c.mu)
 	c.current.payloads = make([]any, n)
+	c.current.clocks = make([]float64, n)
 	return c
 }
 
@@ -40,11 +48,13 @@ func (c *coordinator) rendezvous(rank int, clock float64, payload any) rendezvou
 		c.current.maxClock = clock
 	}
 	c.current.payloads[rank] = payload
+	c.current.clocks[rank] = clock
 	c.arrived++
 	if c.arrived == c.n {
 		// Freeze this generation and open the next.
+		c.current.gen = gen
 		c.frozen = c.current
-		c.current = rendezvousResult{payloads: make([]any, c.n)}
+		c.current = rendezvousResult{payloads: make([]any, c.n), clocks: make([]float64, c.n)}
 		c.arrived = 0
 		c.gen++
 		c.cond.Broadcast()

@@ -17,6 +17,7 @@ package mpi
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"pjds/internal/simnet"
@@ -58,6 +59,7 @@ type World struct {
 	errs    []error
 	comms   []*Comm
 	metrics *telemetry.Registry
+	spans   *telemetry.SpanLog
 }
 
 // Run executes body on n ranks over the given fabric and returns the
@@ -88,6 +90,14 @@ type Options struct {
 	// counts and bytes, serialization and receive-wait time, and
 	// collective counts (plus the simnet wire-level series).
 	Metrics *telemetry.Registry
+	// Spans (nil = off) receives one span per message-passing event on
+	// each rank's "mpi" lane: sends cover the NIC injection interval
+	// and carry peer/tag/bytes/arrives args, receives cover the
+	// posted-to-completion interval, and collectives cover the
+	// entry-to-release interval with the straggler rank as "root".
+	// These args are what internal/critpath builds cross-rank
+	// happens-before edges from.
+	Spans *telemetry.SpanLog
 }
 
 // RunWithOptions is the fully-parameterized Run.
@@ -117,10 +127,11 @@ func RunWithOptions(n int, fabric *simnet.Fabric, opt Options, body func(*Comm) 
 	}
 	w := &World{
 		metrics: opt.Metrics,
-		sw:    sw,
-		coord: newCoordinator(n),
-		errs:  make([]error, n),
-		comms: make([]*Comm, n),
+		spans:   opt.Spans,
+		sw:      sw,
+		coord:   newCoordinator(n),
+		errs:    make([]error, n),
+		comms:   make([]*Comm, n),
 	}
 	for i := range w.comms {
 		w.comms[i] = &Comm{rank: i, world: w}
@@ -187,15 +198,86 @@ func (c *Comm) count(name string, v float64, extra ...telemetry.Label) {
 	}
 }
 
+// Span vocabulary of the per-rank "mpi" lane, consumed by
+// internal/critpath to build cross-rank happens-before edges.
+const (
+	// SpanLane and SpanCat identify message-passing spans.
+	SpanLane = "mpi"
+	SpanCat  = "net"
+	// SpanSend covers a message's NIC injection interval; SpanRecv the
+	// posted-to-completion interval of a receive.
+	SpanSend = "send"
+	SpanRecv = "recv"
+	// Args attached to the spans above. Times are virtual seconds in
+	// strconv 'g'/-1 form (exact float64 round trip).
+	ArgPeer    = "peer"    // the other rank of a point-to-point message
+	ArgTag     = "tag"     // message tag
+	ArgBytes   = "bytes"   // modelled wire size
+	ArgSent    = "sent"    // injection start (SentAt)
+	ArgArrives = "arrives" // arrival time at the destination
+	ArgFabric  = "fabric"  // fabric carrying the message
+	ArgOp      = "op"      // collective kind
+	ArgRoot    = "root"    // collective straggler: the rank that set maxClock
+	ArgGen     = "gen"     // rendezvous generation, one id per collective instance
+)
+
+// fmtTime renders a virtual time so it round-trips exactly through the
+// span args.
+func fmtTime(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// span records one event on this rank's mpi lane when a span log is
+// attached.
+func (c *Comm) span(name string, start, end float64, args map[string]string) {
+	if c.world.spans == nil {
+		return
+	}
+	c.world.spans.Add(telemetry.Span{
+		Proc: c.rank, Lane: SpanLane, Cat: SpanCat, Name: name,
+		Start: start, End: end, Args: args,
+	})
+}
+
+// collSpan records one collective on the mpi lane: the interval from
+// this rank's entry to its release, pointing at the straggler rank
+// (deterministic first-argmax over the arrival clocks) so the
+// critical path can hop to the rank that actually gated the operation.
+func (c *Comm) collSpan(op string, entry float64, res rendezvousResult) {
+	if c.world.spans == nil {
+		return
+	}
+	root := 0
+	for i, cl := range res.clocks {
+		if cl > res.clocks[root] {
+			root = i
+		}
+	}
+	c.span(op, entry, c.clock, map[string]string{
+		ArgOp:   op,
+		ArgRoot: strconv.Itoa(root),
+		ArgGen:  strconv.Itoa(res.gen),
+	})
+}
+
 // inject hands a message to the wire at the earliest time ≥ at the NIC
 // is free, returning the injection-complete time.
 func (c *Comm) inject(r *Request, at float64) float64 {
 	start := math.Max(at, c.nicBusyUntil)
-	wire := float64(r.bytes) / c.world.sw.FabricFor(c.rank, r.dst).BytesPerSecond
+	fab := c.world.sw.FabricFor(c.rank, r.dst)
+	wire := float64(r.bytes) / fab.BytesPerSecond
 	c.nicBusyUntil = start + wire
-	c.world.sw.Send(c.rank, r.dst, r.tag, r.payload, r.bytes, start)
+	arrives := c.world.sw.Send(c.rank, r.dst, r.tag, r.payload, r.bytes, start)
 	r.injected = true
 	c.count("mpi_send_serialization_seconds_total", wire)
+	if c.world.spans != nil {
+		c.span(SpanSend, start, c.nicBusyUntil, map[string]string{
+			ArgPeer:    strconv.Itoa(r.dst),
+			ArgTag:     strconv.Itoa(r.tag),
+			ArgBytes:   strconv.FormatInt(r.bytes, 10),
+			ArgSent:    fmtTime(start),
+			ArgArrives: fmtTime(arrives),
+			ArgFabric:  fab.Name,
+		})
+	}
 	return c.nicBusyUntil
 }
 
@@ -246,6 +328,15 @@ func (r *Request) Wait() {
 	c.clock = math.Max(c.clock, r.doneAt)
 	c.count("mpi_recvs_total", 1)
 	c.count("mpi_recv_wait_seconds_total", math.Max(0, r.doneAt-posted))
+	if c.world.spans != nil {
+		c.span(SpanRecv, posted, c.clock, map[string]string{
+			ArgPeer:    strconv.Itoa(r.Message.Src),
+			ArgTag:     strconv.Itoa(r.Message.Tag),
+			ArgBytes:   strconv.FormatInt(r.Message.Bytes, 10),
+			ArgSent:    fmtTime(r.Message.SentAt),
+			ArgArrives: fmtTime(r.Message.ArrivesAt),
+		})
+	}
 }
 
 // Waitall completes all requests (sends first, so un-progressed data
@@ -286,17 +377,21 @@ func logSteps(n int) float64 {
 // Barrier synchronizes all ranks: every clock jumps to the maximum
 // plus a tree-depth latency term.
 func (c *Comm) Barrier() {
+	entry := c.clock
 	res := c.world.coord.rendezvous(c.rank, c.clock, nil)
 	c.clock = res.maxClock + logSteps(c.Size())*c.Fabric().LatencySeconds
 	c.count("mpi_collectives_total", 1, telemetry.L("op", "barrier"))
+	c.collSpan("barrier", entry, res)
 }
 
 // AllreduceSum returns the sum of x over all ranks; clocks
 // synchronize to the maximum plus a reduce+broadcast tree cost.
 func (c *Comm) AllreduceSum(x float64) float64 {
+	entry := c.clock
 	res := c.world.coord.rendezvous(c.rank, c.clock, x)
 	c.clock = res.maxClock + 2*logSteps(c.Size())*c.Fabric().LatencySeconds
 	c.count("mpi_collectives_total", 1, telemetry.L("op", "allreduce_sum"))
+	c.collSpan("allreduce_sum", entry, res)
 	sum := 0.0
 	for _, v := range res.payloads {
 		sum += v.(float64)
@@ -307,9 +402,11 @@ func (c *Comm) AllreduceSum(x float64) float64 {
 // AllreduceMax returns the maximum of x over all ranks, with the same
 // timing as AllreduceSum.
 func (c *Comm) AllreduceMax(x float64) float64 {
+	entry := c.clock
 	res := c.world.coord.rendezvous(c.rank, c.clock, x)
 	c.clock = res.maxClock + 2*logSteps(c.Size())*c.Fabric().LatencySeconds
 	c.count("mpi_collectives_total", 1, telemetry.L("op", "allreduce_max"))
+	c.collSpan("allreduce_max", entry, res)
 	max := math.Inf(-1)
 	for _, v := range res.payloads {
 		if f := v.(float64); f > max {

@@ -89,6 +89,11 @@ type Message struct {
 	ArrivesAt float64
 }
 
+// WireSeconds returns the message's modelled time on the wire
+// (serialization plus latency), the interval overlap analysis measures
+// against concurrent kernel execution.
+func (m Message) WireSeconds() float64 { return m.ArrivesAt - m.SentAt }
+
 // Switch is the per-run message exchange: a matrix of unbounded
 // mailboxes, one per (src, dst) pair, with tag matching at the
 // receiver. It is safe for concurrent use by the rank goroutines.

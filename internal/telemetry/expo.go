@@ -23,6 +23,32 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatValue(b.UpperBound), b.Count)), nil
 }
 
+// UnmarshalJSON parses the string-bound form written by MarshalJSON,
+// including the "+Inf" bucket.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch raw.Le {
+	case "+Inf":
+		b.UpperBound = math.Inf(1)
+	case "-Inf":
+		b.UpperBound = math.Inf(-1)
+	default:
+		v, err := strconv.ParseFloat(raw.Le, 64)
+		if err != nil {
+			return fmt.Errorf("telemetry: bucket bound %q: %w", raw.Le, err)
+		}
+		b.UpperBound = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
 // Series is one metric series in a snapshot.
 type Series struct {
 	Name   string            `json:"name"`
@@ -35,6 +61,56 @@ type Series struct {
 	Count   uint64   `json:"count,omitempty"`
 
 	canon string // sort key within a family
+}
+
+// seriesJSON is the wire form of Series. Pointer fields force the
+// value/sum/count keys to be emitted even when zero: with a plain
+// `omitempty` float64, a zero-valued counter or gauge would silently
+// drop its "value" field from the snapshot (and an empty histogram its
+// "sum"/"count"), so consumers could not tell "zero" from "absent".
+type seriesJSON struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+}
+
+// MarshalJSON emits the sampled value explicitly: counters and gauges
+// always carry "value" (even 0), histograms always carry "sum" and
+// "count" (even when empty).
+func (s Series) MarshalJSON() ([]byte, error) {
+	j := seriesJSON{Name: s.Name, Type: s.Type, Labels: s.Labels, Buckets: s.Buckets}
+	if s.Type == "histogram" {
+		sum, count := s.Sum, s.Count
+		j.Sum, j.Count = &sum, &count
+	} else {
+		v := s.Value
+		j.Value = &v
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a series from its wire form (absent fields
+// stay zero).
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var j seriesJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = Series{Name: j.Name, Type: j.Type, Labels: j.Labels, Buckets: j.Buckets}
+	if j.Value != nil {
+		s.Value = *j.Value
+	}
+	if j.Sum != nil {
+		s.Sum = *j.Sum
+	}
+	if j.Count != nil {
+		s.Count = *j.Count
+	}
+	return nil
 }
 
 // Snapshot returns every series in deterministic order: families
@@ -180,6 +256,19 @@ func (r *Registry) WriteFile(path string) error {
 		err = cerr
 	}
 	return err
+}
+
+// ReadSnapshot parses a JSON snapshot previously written by WriteJSON
+// (the {"metrics": [...]} document of -metrics-out FILE.json), so
+// analysis tools can consume saved artifacts.
+func ReadSnapshot(rd io.Reader) ([]Series, error) {
+	var doc struct {
+		Metrics []Series `json:"metrics"`
+	}
+	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("telemetry: reading snapshot: %w", err)
+	}
+	return doc.Metrics, nil
 }
 
 // WriteJSON writes an indented JSON snapshot ({"metrics": [...]}).

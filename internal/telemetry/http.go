@@ -24,6 +24,21 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
+// serveMux builds the full introspection mux used by Serve: the
+// registry endpoints plus expvar and pprof.
+func serveMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // Server is a live introspection endpoint started by Serve.
 type Server struct {
 	// Addr is the bound address (useful with ":0" listeners).
@@ -46,15 +61,7 @@ func (s *Server) Close() error { return s.srv.Close() }
 // It returns once the listener is bound; serving continues in the
 // background until Close.
 func Serve(addr string, r *Registry) (*Server, error) {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/metrics.json", r.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux := serveMux(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerEndpoints asserts the registry handler serves /metrics and
+// /metrics.json with status 200 and well-formed bodies.
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Help("up_total", "liveness")
+	r.Counter("up_total", L("job", "test")).Inc()
+	r.Gauge("idle") // zero-valued on purpose
+	r.Histogram("sizes", nil).Observe(100)
+
+	h := r.Handler()
+
+	// /metrics: Prometheus text exposition.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# HELP up_total liveness",
+		"# TYPE up_total counter",
+		`up_total{job="test"} 1`,
+		"# TYPE sizes histogram",
+		`sizes_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// /metrics.json: parseable snapshot with every series present.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics.json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics.json content type %q", ct)
+	}
+	snap, err := ReadSnapshot(rec.Body)
+	if err != nil {
+		t.Fatalf("/metrics.json body: %v", err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("/metrics.json has %d series, want 3", len(snap))
+	}
+}
+
+// TestServeMuxDebugVars asserts the full Serve mux (exercised without a
+// real listener) answers /debug/vars with valid JSON.
+func TestServeMuxDebugVars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	mux := serveMux(r)
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/vars"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s status %d", path, rec.Code)
+		}
+		if rec.Body.Len() == 0 {
+			t.Errorf("%s empty body", path)
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+}

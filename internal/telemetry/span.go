@@ -32,8 +32,19 @@ type SpanLog struct {
 // NewSpanLog returns an empty log.
 func NewSpanLog() *SpanLog { return &SpanLog{} }
 
-// Add records one span.
+// Add records one span. Degenerate intervals are clamped rather than
+// stored verbatim: a negative Start moves to 0 and an End before Start
+// collapses to Start. Un-clamped they would corrupt every downstream
+// consumer that assumes well-ordered intervals (the Chrome-trace
+// exporter and the internal/critpath happens-before DAG, where a span
+// ending before it starts would make path time go backwards).
 func (l *SpanLog) Add(s Span) {
+	if s.Start < 0 {
+		s.Start = 0
+	}
+	if s.End < s.Start {
+		s.End = s.Start
+	}
 	l.mu.Lock()
 	l.spans = append(l.spans, s)
 	l.mu.Unlock()

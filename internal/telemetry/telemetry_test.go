@@ -162,6 +162,89 @@ func TestJSONSnapshot(t *testing.T) {
 	}
 }
 
+// TestJSONSnapshotZeroValues is the regression test for the omitempty
+// bug: a zero-valued counter or gauge must still carry an explicit
+// "value" field in the JSON snapshot (and an empty histogram its "sum"
+// and "count"), so consumers can distinguish zero from absent.
+func TestJSONSnapshotZeroValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("errors_total") // created but never incremented
+	r.Gauge("depth").Set(0)
+	r.Histogram("sizes", []float64{8}) // no observations
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []map[string]json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]map[string]json.RawMessage{}
+	for _, m := range doc.Metrics {
+		var name string
+		if err := json.Unmarshal(m["name"], &name); err != nil {
+			t.Fatal(err)
+		}
+		byName[name] = m
+	}
+	for _, name := range []string{"errors_total", "depth"} {
+		raw, ok := byName[name]["value"]
+		if !ok {
+			t.Errorf("%s: zero value dropped from JSON: %s", name, buf.String())
+			continue
+		}
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil || v != 0 {
+			t.Errorf("%s: value = %s, want 0", name, raw)
+		}
+	}
+	for _, field := range []string{"sum", "count"} {
+		if _, ok := byName["sizes"][field]; !ok {
+			t.Errorf("empty histogram dropped %q from JSON: %s", field, buf.String())
+		}
+	}
+	// Round trip through ReadSnapshot preserves the zeros.
+	snap, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("round trip lost series: %d", len(snap))
+	}
+	for _, s := range snap {
+		if s.Value != 0 || s.Sum != 0 || s.Count != 0 {
+			t.Errorf("round trip invented values: %+v", s)
+		}
+	}
+}
+
+// TestSpanLogClampsDegenerateSpans: spans with End < Start or negative
+// Start would corrupt the critical-path DAG; Add must clamp them.
+func TestSpanLogClampsDegenerateSpans(t *testing.T) {
+	l := NewSpanLog()
+	l.Add(Span{Proc: 0, Lane: "gpu", Name: "backwards", Start: 5, End: 2})
+	l.Add(Span{Proc: 0, Lane: "gpu", Name: "negative", Start: -3, End: 1})
+	l.Add(Span{Proc: 0, Lane: "gpu", Name: "both", Start: -4, End: -2})
+	for _, s := range l.Spans() {
+		if s.Start < 0 {
+			t.Errorf("%s: negative start %g survived", s.Name, s.Start)
+		}
+		if s.End < s.Start {
+			t.Errorf("%s: end %g before start %g survived", s.Name, s.End, s.Start)
+		}
+	}
+	for _, s := range l.Spans() {
+		if s.Name == "negative" && (s.Start != 0 || s.End != 1) {
+			t.Errorf("negative-start span clamped wrong: %+v", s)
+		}
+		if s.Name == "backwards" && (s.Start != 5 || s.End != 5) {
+			t.Errorf("backwards span clamped wrong: %+v", s)
+		}
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("m", L("k", `a"b\c`+"\n")).Inc()

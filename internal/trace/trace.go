@@ -185,6 +185,74 @@ func WriteSpans(w io.Writer, spans []telemetry.Span, meta Meta) error {
 	})
 }
 
+// ReadSpans parses a Chrome trace-event document produced by
+// WriteSpans back into telemetry spans, so saved -trace-out artifacts
+// can be re-analyzed offline (cmd/perfreport). Lanes are recovered
+// from the thread ids — 0/1/2 are the canonical host/gpu/solver lanes
+// — falling back to the thread_name metadata for the extra lanes
+// (which WriteSpans names by their raw lane token, e.g. "mpi").
+// Timestamps round-trip through microseconds, so positions are exact
+// to ~1 ulp; span args survive verbatim.
+func ReadSpans(r io.Reader) ([]telemetry.Span, error) {
+	type raw struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	var doc struct {
+		TraceEvents []raw `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: reading trace events: %w", err)
+	}
+	laneName := map[[2]int]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				laneName[[2]int{e.PID, e.TID}] = n
+			}
+		}
+	}
+	laneOf := func(pid, tid int) string {
+		switch tid {
+		case 0:
+			return "host"
+		case 1:
+			return "gpu"
+		case 2:
+			return "solver"
+		}
+		if n, ok := laneName[[2]int{pid, tid}]; ok {
+			return n
+		}
+		return fmt.Sprintf("lane%d", tid)
+	}
+	log := telemetry.NewSpanLog()
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		var args map[string]string
+		if len(e.Args) > 0 {
+			args = make(map[string]string, len(e.Args))
+			for k, v := range e.Args {
+				args[k] = fmt.Sprint(v)
+			}
+		}
+		log.Add(telemetry.Span{
+			Proc: e.PID, Lane: laneOf(e.PID, e.TID), Cat: e.Cat, Name: e.Name,
+			Start: e.Ts / 1e6, End: (e.Ts + e.Dur) / 1e6,
+			Args: args,
+		})
+	}
+	return log.Spans(), nil
+}
+
 // WriteCluster renders a distributed-run result as a trace: the
 // recorded rank-0 timeline is emitted as process 0 with its host and
 // GPU lanes, plus run-level counters as args.

@@ -118,6 +118,11 @@ func TestWriteSpansAllModes(t *testing.T) {
 				t.Errorf("%s: events out of timestamp order", mode)
 			}
 			lastTS = ts
+			if e["cat"] == "net" {
+				// mpi-lane message records carry peer/bytes args, not
+				// the mode.
+				continue
+			}
 			args := e["args"].(map[string]any)
 			if args["mode"] != mode.Slug() {
 				t.Errorf("%s: event mode arg %v", mode, args["mode"])
@@ -149,5 +154,52 @@ func TestWriteSpansDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
 		t.Error("trace output not deterministic")
+	}
+}
+
+// TestReadSpansRoundTrip writes spans — including an mpi lane carrying
+// message args — and reads them back: lanes, categories, names, args
+// and (to trace precision) times must survive.
+func TestReadSpansRoundTrip(t *testing.T) {
+	in := []telemetry.Span{
+		{Proc: 0, Lane: "host", Cat: "comm", Name: "MPI_Waitall", Start: 0, End: 1e-3},
+		{Proc: 0, Lane: "gpu", Cat: "gpu", Name: "spMVM", Start: 1e-3, End: 2e-3},
+		{Proc: 1, Lane: "mpi", Cat: "net", Name: "send", Start: 0, End: 0.5e-3,
+			Args: map[string]string{"peer": "0", "bytes": "4096", "arrives": "0.00125"}},
+		{Proc: 1, Lane: "solver", Cat: "solver", Name: "CG iteration", Start: 0, End: 3e-3},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, in, Meta{LaneNames: map[string]string{
+		"host": "host thread 0 (MPI)", "gpu": "GPU stream", "solver": "solver",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("read %d spans, want %d", len(got), len(in))
+	}
+	bySig := map[string]telemetry.Span{}
+	for _, s := range got {
+		bySig[s.Lane+"/"+s.Name] = s
+	}
+	for _, want := range in {
+		s, ok := bySig[want.Lane+"/"+want.Name]
+		if !ok {
+			t.Fatalf("lane %q name %q missing after round trip: %+v", want.Lane, want.Name, got)
+		}
+		if s.Proc != want.Proc || s.Cat != want.Cat {
+			t.Errorf("%s/%s: proc/cat %d/%q, want %d/%q", want.Lane, want.Name, s.Proc, s.Cat, want.Proc, want.Cat)
+		}
+		if math.Abs(s.Start-want.Start) > 1e-12 || math.Abs(s.End-want.End) > 1e-12 {
+			t.Errorf("%s/%s: times %g..%g, want %g..%g", want.Lane, want.Name, s.Start, s.End, want.Start, want.End)
+		}
+		for k, v := range want.Args {
+			if s.Args[k] != v {
+				t.Errorf("%s/%s: arg %s = %q, want %q", want.Lane, want.Name, k, s.Args[k], v)
+			}
+		}
 	}
 }

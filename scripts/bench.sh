@@ -13,8 +13,15 @@
 # per-worker-count replay benchmarks. ns/op for every benchmark is
 # written to BENCH_PR2.json (schema pjds-bench-pr2/v1).
 #
+# pr3 mode: the causal performance report. Runs the distributed
+# benchmark in all three §III-A modes with span + metrics
+# instrumentation and writes the critical-path attribution, overlap
+# efficiency, and Eq. 1 kernel table to BENCH_PR3.json — the artifact
+# scripts/regress.sh compares across checkouts.
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
+#        scripts/bench.sh pr3 [scale]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -24,8 +31,20 @@ pr2)
     MODE=pr2
     shift
     ;;
+pr3)
+    MODE=pr3
+    shift
+    ;;
 esac
 SCALE="${1:-0.05}"
+
+if [ "$MODE" = pr3 ]; then
+    echo "== perfreport causal analysis (scale $SCALE, P=8, all modes) =="
+    go run ./cmd/perfreport -ranks 8 -scale "$SCALE"
+    go run ./cmd/perfreport -ranks 8 -scale "$SCALE" -json -o BENCH_PR3.json
+    echo "wrote BENCH_PR3.json (gate with scripts/regress.sh OLD NEW)"
+    exit 0
+fi
 
 if [ "$MODE" = pr2 ]; then
     echo "== kernel-plan benchmarks (scale $SCALE) =="

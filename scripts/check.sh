@@ -23,4 +23,13 @@ go test -race ./internal/telemetry/... ./internal/simnet/... \
 echo "== go test -race (gpu worker pool, Workers>1) =="
 go test -race ./internal/gpu/...
 
+echo "== regression-gate self-diff (perfreport) =="
+# The simulator is deterministic, so two identical runs must produce
+# byte-comparable reports and the gate must find zero regressions.
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+go run ./cmd/perfreport -ranks 4 -scale 0.02 -modes task -json -o "$TMP/a.json" >/dev/null
+go run ./cmd/perfreport -ranks 4 -scale 0.02 -modes task -json -o "$TMP/b.json" >/dev/null
+scripts/regress.sh "$TMP/a.json" "$TMP/b.json"
+
 echo "all checks passed"

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Perf-regression gate: compare two benchmark/report JSON artifacts
+# (e.g. BENCH_PR3.json from two checkouts) with perfreport diff and
+# exit non-zero when any metric moved the wrong way beyond tolerance.
+#
+# Every numeric leaf is compared under a relative tolerance band.
+# Direction is inferred from the metric name (gflops/efficiency up is
+# good, seconds/balance up is bad); metrics with unknown direction must
+# stay inside the band in either direction — the simulator is
+# deterministic, so unexplained drift is itself a finding.
+#
+# Usage: scripts/regress.sh OLD.json NEW.json [default-tol] [per-metric]
+#   default-tol   relative band, default 0.02 (±2%)
+#   per-metric    overrides like "gflops=0.05,per_iter_seconds=0.1"
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 2 ]; then
+    echo "usage: scripts/regress.sh OLD.json NEW.json [default-tol] [per-metric]" >&2
+    exit 2
+fi
+OLD=$1
+NEW=$2
+TOL="${3:-0.02}"
+PER_METRIC="${4:-}"
+
+if [ -n "$PER_METRIC" ]; then
+    exec go run ./cmd/perfreport diff -tol "$TOL" -tol-metric "$PER_METRIC" "$OLD" "$NEW"
+fi
+exec go run ./cmd/perfreport diff -tol "$TOL" "$OLD" "$NEW"
