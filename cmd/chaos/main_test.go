@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSmokeSuite: the CI smoke scenario (one dropped message, one
+// mid-solve crash) recovers, stays bit-identical, and reproduces under
+// its own repro pass.
+func TestSmokeSuite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-smoke"}, &buf); err != nil {
+		t.Fatalf("smoke run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"bit-identical", "identical report", "rank 1 crashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSeedReproducibility: two separate invocations with the same seed
+// emit byte-identical JSON reports — same fault schedule, same retry
+// counts, same telemetry event counts.
+func TestSeedReproducibility(t *testing.T) {
+	args := []string{"-seed", "7", "-nx", "12", "-scenarios", "baseline,drop1pct,crash",
+		"-skip-modes", "-no-repro", "-json"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different reports")
+	}
+	var rep report
+	if err := json.Unmarshal(a.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "pjds-chaos/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Scenarios) != 3 {
+		t.Fatalf("scenarios = %d", len(rep.Scenarios))
+	}
+	crash := rep.Scenarios[2]
+	if crash.Name != "crash" || crash.Restarts != 1 || crash.Crashes != 1 {
+		t.Errorf("crash scenario = %+v", crash)
+	}
+	if !crash.BitIdentical || !crash.Converged {
+		t.Errorf("crash scenario correctness: bit=%v conv=%v", crash.BitIdentical, crash.Converged)
+	}
+	if crash.RecoveryLatencySeconds <= 0 {
+		t.Errorf("crash recovery latency = %g", crash.RecoveryLatencySeconds)
+	}
+}
+
+// TestDifferentSeedsDiffer: the drop schedule is seed-keyed, so two
+// seeds should not charge the same retry pattern.
+func TestDifferentSeedsDiffer(t *testing.T) {
+	get := func(seed string) report {
+		var buf bytes.Buffer
+		if err := run([]string{"-seed", seed, "-nx", "12", "-scenarios", "baseline,drop1pct",
+			"-skip-modes", "-no-repro", "-json"}, &buf); err != nil {
+			t.Fatalf("seed %s: %v", seed, err)
+		}
+		var rep report
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := get("1"), get("2")
+	if a.Scenarios[1].FaultsInjected == b.Scenarios[1].FaultsInjected &&
+		a.Scenarios[1].RetryWaitSeconds == b.Scenarios[1].RetryWaitSeconds {
+		t.Error("seeds 1 and 2 injected an identical drop schedule")
+	}
+	// And the faulty runs still match their own baselines bit-for-bit.
+	if !a.Scenarios[1].BitIdentical || !b.Scenarios[1].BitIdentical {
+		t.Error("lossy runs lost bit-identity")
+	}
+}

@@ -83,7 +83,9 @@ func main() {
 				}
 				all = append(all, c.Isend(d, it, buf, int64(8*len(buf))))
 			}
-			c.Waitall(all)
+			if err := c.Waitall(all); err != nil {
+				return err
+			}
 			for _, r := range recvs {
 				vals := r.Message.Payload.([]float64)
 				copy(halo[rp.HaloOffset[r.Message.Src]:], vals)
@@ -104,8 +106,15 @@ func main() {
 				xy += x[i] * y[i]
 				yy += y[i] * y[i]
 			}
-			next := c.AllreduceSum(xy)
-			norm := math.Sqrt(c.AllreduceSum(yy))
+			next, err := c.AllreduceSum(xy)
+			if err != nil {
+				return err
+			}
+			sumYY, err := c.AllreduceSum(yy)
+			if err != nil {
+				return err
+			}
+			norm := math.Sqrt(sumYY)
 			for i := range y {
 				x[i] = y[i] / norm
 			}

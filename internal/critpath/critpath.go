@@ -79,6 +79,7 @@ const (
 	CatPCIe          = "pcie"          // host↔device transfers (Eq. 2's T_PCI)
 	CatCommunication = "communication" // MPI driving, serialization, wire
 	CatImbalance     = "imbalance"     // idle gaps and straggler waits
+	CatRecovery      = "recovery"      // fault handling: retries, detection, checkpoints, rollbacks
 	CatOther         = "other"
 )
 
@@ -88,6 +89,7 @@ var verdictFor = map[string]string{
 	CatPCIe:          "PCIe-bound",
 	CatCommunication: "communication-bound",
 	CatImbalance:     "imbalance-bound",
+	CatRecovery:      "recovery-bound",
 	CatOther:         "other-bound",
 }
 
@@ -96,7 +98,17 @@ var verdictFor = map[string]string{
 // (mpi/net lanes) and internal/distsolver (solver lane).
 func CategoryOf(lane, name string) string {
 	switch lane {
+	case "recovery":
+		// Checkpoint commits and rollback-restart windows of the
+		// fault-tolerant solver driver.
+		return CatRecovery
 	case "net", mpi.SpanLane:
+		switch name {
+		case mpi.SpanRetry, mpi.SpanDetect, mpi.SpanCrash:
+			// Fault handling inside the message layer: retry backoff,
+			// heartbeat detection, injected crashes.
+			return CatRecovery
+		}
 		return CatCommunication
 	case "host":
 		return CatCommunication // local gather + MPI driving (Fig. 4 thread 0)
@@ -292,7 +304,7 @@ func Path(spans []telemetry.Span) PathReport {
 // tie-break by category name).
 func dominantVerdict(cats map[string]float64) string {
 	best, bestSec := CatOther, -1.0
-	for _, cat := range []string{CatCommunication, CatImbalance, CatKernel, CatOther, CatPCIe} {
+	for _, cat := range []string{CatCommunication, CatImbalance, CatKernel, CatOther, CatPCIe, CatRecovery} {
 		if sec := cats[cat]; sec > bestSec {
 			best, bestSec = cat, sec
 		}

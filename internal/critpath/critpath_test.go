@@ -276,3 +276,37 @@ func TestAttributeKernels(t *testing.T) {
 		t.Errorf("unexpected note %q", e.Note)
 	}
 }
+
+// TestRecoveryBoundVerdict: fault-handling spans — retry backoff on
+// the mpi lane, rollback/checkpoint on the recovery lane — are
+// attributed to the recovery category, and a path dominated by them
+// gets the recovery-bound verdict.
+func TestRecoveryBoundVerdict(t *testing.T) {
+	for _, tc := range []struct{ lane, name string }{
+		{"mpi", "retry backoff"},
+		{"mpi", "failure detect"},
+		{"mpi", "crash"},
+		{"recovery", "rollback"},
+		{"recovery", "checkpoint"},
+	} {
+		if got := CategoryOf(tc.lane, tc.name); got != CatRecovery {
+			t.Errorf("CategoryOf(%q, %q) = %q, want %q", tc.lane, tc.name, got, CatRecovery)
+		}
+	}
+	if got := CategoryOf("mpi", "send"); got != CatCommunication {
+		t.Errorf("healthy mpi spans must stay communication, got %q", got)
+	}
+	spans := []telemetry.Span{
+		sp(0, "gpu", "gpu", "spMVM", 0, 1),
+		sp(0, "mpi", "net", "retry backoff", 1, 4),
+		sp(0, "recovery", "recovery", "rollback", 4, 9),
+		sp(0, "gpu", "gpu", "spMVM", 9, 10),
+	}
+	rep := Path(spans)
+	if rep.Verdict != "recovery-bound" {
+		t.Errorf("verdict = %q (categories %v)", rep.Verdict, rep.Categories)
+	}
+	if got := rep.Categories[CatRecovery]; math.Abs(got-8) > 1e-9 {
+		t.Errorf("recovery seconds = %g", got)
+	}
+}

@@ -60,7 +60,10 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 	reg.Help("distmv_rank_halo_elems", "RHS elements received from other ranks per iteration")
 	reg.Help("distmv_rank_send_elems", "RHS elements sent to other ranks per iteration")
 	reg.Help("distmv_rank_neighbors", "ranks this rank exchanges halos with")
-	opts := mpi.Options{RanksPerNode: ranksPerNode, Intra: cfg.IntraNodeFabric, Metrics: reg, Spans: cfg.Spans}
+	opts := mpi.Options{
+		RanksPerNode: ranksPerNode, Intra: cfg.IntraNodeFabric, Metrics: reg, Spans: cfg.Spans,
+		Faults: cfg.Faults, Retry: cfg.Retry, HeartbeatSeconds: cfg.HeartbeatSeconds,
+	}
 	_, err = mpi.RunWithOptions(p, cfg.Fabric, opts, func(c *mpi.Comm) error {
 		rp := problems[c.Rank()]
 		nloc := rp.LocalRows()
@@ -86,7 +89,9 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 			mode: mode, spans: cfg.Spans,
 		}
 
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		start := c.Clock()
 		for n := 0; n < cfg.Iterations; n++ {
 			it.iter = n
@@ -109,7 +114,10 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 				res.Timeline = events
 			}
 		}
-		end := c.AllreduceMax(c.Clock())
+		end, err := c.AllreduceMax(c.Clock())
+		if err != nil {
+			return err
+		}
 		if c.Rank() == 0 {
 			totalSeconds = end - start
 		}
@@ -277,8 +285,9 @@ func (s *iterState) vectorMode(n int, record bool) ([]Event, error) {
 	add(s.span("host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
 	var err error
 	add(s.span("host", "MPI_Waitall", func() {
-		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
-		err = s.absorbHalo(recvs)
+		if err = c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...)); err == nil {
+			err = s.absorbHalo(recvs)
+		}
 	}))
 	if err != nil {
 		return nil, err
@@ -311,8 +320,9 @@ func (s *iterState) naiveOverlap(n int, record bool) ([]Event, error) {
 	add(s.span("gpu", "local spMVM", func() { c.Advance(s.prof.Local.KernelSeconds) }))
 	var err error
 	add(s.span("host", "MPI_Waitall", func() {
-		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
-		err = s.absorbHalo(recvs)
+		if err = c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...)); err == nil {
+			err = s.absorbHalo(recvs)
+		}
 	}))
 	if err != nil {
 		return nil, err
@@ -343,8 +353,9 @@ func (s *iterState) taskMode(n int, record bool) ([]Event, error) {
 	add(s.span("host", "MPI_Isend/Irecv", func() { recvs, sends = s.postExchange(n) }))
 	var err error
 	add(s.span("host", "MPI_Waitall", func() {
-		c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...))
-		err = s.absorbHalo(recvs)
+		if err = c.Waitall(append(append([]*mpi.Request{}, sends...), recvs...)); err == nil {
+			err = s.absorbHalo(recvs)
+		}
 	}))
 	if err != nil {
 		return nil, err

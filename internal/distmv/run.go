@@ -5,6 +5,7 @@ import (
 
 	"pjds/internal/gpu"
 	"pjds/internal/matrix"
+	"pjds/internal/mpi"
 	"pjds/internal/pcie"
 	"pjds/internal/simnet"
 	"pjds/internal/telemetry"
@@ -99,6 +100,14 @@ type Config struct {
 	// form of Result.Timeline (which keeps only rank 0's first
 	// iteration) consumed by the internal/trace exporter.
 	Spans *telemetry.SpanLog
+	// Faults injects wire-level faults (drops, delays, duplicates,
+	// link degradation) into the halo exchanges; nil runs healthy.
+	Faults simnet.Injector
+	// Retry is the reliable-transport policy applied to dropped halo
+	// messages (zero value = mpi.DefaultRetry).
+	Retry mpi.RetryPolicy
+	// HeartbeatSeconds tunes the failure detector (0 = mpi default).
+	HeartbeatSeconds float64
 }
 
 func (c Config) withDefaults() Config {

@@ -8,6 +8,7 @@
 package distsolver
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -71,15 +72,36 @@ func (h *Halo) Exchange(x []float64) ([]float64, error) {
 		}
 		all = append(all, c.Isend(d, tag, buf, int64(8*len(buf))))
 	}
-	c.Waitall(all)
+	if err := c.Waitall(all); err != nil {
+		return nil, err
+	}
 	for _, r := range recvs {
 		vals, ok := r.Message.Payload.([]float64)
 		if !ok {
 			return nil, fmt.Errorf("distsolver: rank %d got %T from %d", rp.Rank, r.Message.Payload, r.Message.Src)
 		}
+		// Verify the received element count against the partition's
+		// expected halo size before copying: a short (or oversized)
+		// message would otherwise silently corrupt neighbouring halo
+		// segments.
+		if want := rp.RecvCount[r.Message.Src]; len(vals) != want {
+			return nil, &HaloSizeError{Rank: rp.Rank, Src: r.Message.Src, GotElems: len(vals), WantElems: want}
+		}
 		copy(h.buf[rp.HaloOffset[r.Message.Src]:], vals)
 	}
 	return h.buf, nil
+}
+
+// HaloSizeError reports a halo message whose element count does not
+// match the partition's expected size for that link.
+type HaloSizeError struct {
+	Rank, Src           int
+	GotElems, WantElems int
+}
+
+func (e *HaloSizeError) Error() string {
+	return fmt.Sprintf("distsolver: rank %d halo from %d carries %d elements, partition expects %d",
+		e.Rank, e.Src, e.GotElems, e.WantElems)
 }
 
 // Operator applies the distributed matrix: y = A_loc·x + A_nl·halo(x),
@@ -100,6 +122,22 @@ type Operator struct {
 	// spMVM as spans on the rank's solver lane.
 	Inst    *Instrument
 	applies int
+
+	// Faults (optional) injects simulated uncorrectable ECC events into
+	// the device kernels. When one fires, the operator latches Degraded
+	// and every application from then on runs the host CPU kernels
+	// instead — bit-identically, since both paths sum each row in
+	// stored column order. Only the timing model changes.
+	Faults gpu.ECCInjector
+	// Slow is a compute-slowdown multiplier applied to every kernel
+	// charge on the rank clock (0 or 1 = full speed). The recovery
+	// driver sets it > 1 for logical ranks re-hosted on a surviving
+	// node, where they share that node's device and memory bandwidth.
+	Slow float64
+	// Degraded reports that an ECC event evicted this rank from its
+	// device; DegradedAt is the Apply index that took the hit.
+	Degraded   bool
+	DegradedAt int
 
 	// Device state, set by UseDevice: the ELLPACK-R forms of the local
 	// and non-local blocks are built once per solve, so every Apply
@@ -127,8 +165,29 @@ func (op *Operator) UseDevice(dev *gpu.Device, workers int) error {
 	return nil
 }
 
+// slow resolves the compute-slowdown multiplier (identity when unset).
+func (op *Operator) slow() float64 {
+	if op.Slow > 1 {
+		return op.Slow
+	}
+	return 1
+}
+
+// degrade latches the host fallback after an uncorrectable ECC event
+// and records the eviction for telemetry.
+func (op *Operator) degrade(at int) {
+	op.Degraded = true
+	op.DegradedAt = at
+	op.Inst.registry().Counter("distsolver_ecc_downgrades_total",
+		telemetry.Li("rank", op.RP.Rank)).Inc()
+}
+
 // deviceMul runs the split kernels on the simulator and advances the
-// rank clock by their simulated duration.
+// rank clock by their simulated duration. An uncorrectable ECC event
+// in either kernel degrades the operator to the host path for this
+// and every following application; because y may hold a partial
+// result from the local kernel, the host fallback recomputes the full
+// application from scratch.
 func (op *Operator) deviceMul(y, x, halo []float64) error {
 	var reg *telemetry.Registry
 	if op.Inst != nil {
@@ -139,21 +198,47 @@ func (op *Operator) deviceMul(y, x, halo []float64) error {
 			Accumulate: acc,
 			Workers:    op.devWorkers,
 			Metrics:    reg,
+			Faults:     op.Faults,
 			MetricLabels: []telemetry.Label{
 				telemetry.Li("rank", op.RP.Rank),
 				telemetry.L("phase", phase),
 			},
 		}
 	}
+	var ecc *gpu.ECCError
 	stL, err := gpu.RunELLPACKR(op.dev, op.devLocal, y, x, opt("solver-local", false))
+	if errors.As(err, &ecc) {
+		op.degrade(op.applies - 1)
+		return op.hostMul(y, x, halo)
+	}
 	if err != nil {
 		return err
 	}
 	stN, err := gpu.RunELLPACKR(op.dev, op.devNonLocal, y, halo, opt("solver-non-local", true))
+	if errors.As(err, &ecc) {
+		op.degrade(op.applies - 1)
+		return op.hostMul(y, x, halo)
+	}
 	if err != nil {
 		return err
 	}
-	op.c.Advance(stL.KernelSeconds + stN.KernelSeconds)
+	op.c.Advance(op.slow() * (stL.KernelSeconds + stN.KernelSeconds))
+	return nil
+}
+
+// hostMul runs the split application on the host CPU kernels, charging
+// the bytes/bandwidth timing model.
+func (op *Operator) hostMul(y, x, halo []float64) error {
+	if err := op.RP.Local.MulVec(y, x); err != nil {
+		return err
+	}
+	if err := op.RP.NonLocal.MulVecAdd(y, halo); err != nil {
+		return err
+	}
+	if op.KernelBW > 0 {
+		bytes := float64(12 * (op.RP.Local.Nnz() + op.RP.NonLocal.Nnz()))
+		op.c.Advance(op.slow() * bytes / op.KernelBW)
+	}
 	return nil
 }
 
@@ -179,25 +264,15 @@ func (op *Operator) Apply(y, x []float64) error {
 		return err
 	}
 	return op.Inst.spanned(op.c, op.RP.Rank, "gpu", "spMVM", n, func() error {
-		if op.dev != nil {
+		if op.dev != nil && !op.Degraded {
 			return op.deviceMul(y, x, halo)
 		}
-		if err := op.RP.Local.MulVec(y, x); err != nil {
-			return err
-		}
-		if err := op.RP.NonLocal.MulVecAdd(y, halo); err != nil {
-			return err
-		}
-		if op.KernelBW > 0 {
-			bytes := float64(12 * (op.RP.Local.Nnz() + op.RP.NonLocal.Nnz()))
-			op.c.Advance(bytes / op.KernelBW)
-		}
-		return nil
+		return op.hostMul(y, x, halo)
 	})
 }
 
 // Dot returns the global dot product of two distributed vectors.
-func Dot(c *mpi.Comm, x, y []float64) float64 {
+func Dot(c *mpi.Comm, x, y []float64) (float64, error) {
 	s := 0.0
 	for i := range x {
 		s += x[i] * y[i]
@@ -206,4 +281,10 @@ func Dot(c *mpi.Comm, x, y []float64) float64 {
 }
 
 // Norm2 returns the global 2-norm of a distributed vector.
-func Norm2(c *mpi.Comm, x []float64) float64 { return math.Sqrt(Dot(c, x, x)) }
+func Norm2(c *mpi.Comm, x []float64) (float64, error) {
+	d, err := Dot(c, x, x)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(d), nil
+}

@@ -75,11 +75,18 @@ func TestDistributedDotAndNorm(t *testing.T) {
 	}
 	runDistributed(t, m, 4, func(c *mpi.Comm, rp *distmv.RankProblem, out []float64) error {
 		lo, hi := rp.RowLo, rp.RowHi
-		got := Dot(c, x[lo:hi], x[lo:hi])
+		got, err := Dot(c, x[lo:hi], x[lo:hi])
+		if err != nil {
+			return err
+		}
 		if math.Abs(got-want) > 1e-9 {
 			t.Errorf("rank %d: dot = %g, want %g", c.Rank(), got, want)
 		}
-		if n := Norm2(c, x[lo:hi]); math.Abs(n-math.Sqrt(want)) > 1e-9 {
+		n, err := Norm2(c, x[lo:hi])
+		if err != nil {
+			return err
+		}
+		if math.Abs(n-math.Sqrt(want)) > 1e-9 {
 			t.Errorf("rank %d: norm = %g", c.Rank(), n)
 		}
 		return nil

@@ -56,8 +56,14 @@ func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIte
 	}
 	p := append([]float64(nil), r...)
 	ap := make([]float64, n)
-	rr := Dot(c, r, r)
-	bnorm := Norm2(c, b)
+	rr, err := Dot(c, r, r)
+	if err != nil {
+		return CGResult{}, err
+	}
+	bnorm, err := Norm2(c, b)
+	if err != nil {
+		return CGResult{}, err
+	}
 	if bnorm == 0 {
 		bnorm = 1
 	}
@@ -71,7 +77,10 @@ func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIte
 		if err := op.Apply(ap, p); err != nil {
 			return res, err
 		}
-		pap := Dot(c, p, ap)
+		pap, err := Dot(c, p, ap)
+		if err != nil {
+			return res, err
+		}
 		if pap <= 0 {
 			return res, fmt.Errorf("distsolver: operator not positive definite (pᵀAp = %g)", pap)
 		}
@@ -80,7 +89,10 @@ func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIte
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		rrNew := Dot(c, r, r)
+		rrNew, err := Dot(c, r, r)
+		if err != nil {
+			return res, err
+		}
 		beta := rrNew / rr
 		for i := range p {
 			p[i] = r[i] + beta*p[i]
@@ -145,7 +157,10 @@ func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float
 			v[i] = 1 + 0.001*float64((rp.RowLo+i)%17)
 		}
 	}
-	norm := Norm2(c, v)
+	norm, err := Norm2(c, v)
+	if err != nil {
+		return PowerResult{}, err
+	}
 	for i := range v {
 		v[i] /= norm
 	}
@@ -156,8 +171,14 @@ func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float
 		if err := op.Apply(av, v); err != nil {
 			return PowerResult{}, err
 		}
-		next := Dot(c, v, av)
-		nv := Norm2(c, av)
+		next, err := Dot(c, v, av)
+		if err != nil {
+			return PowerResult{}, err
+		}
+		nv, err := Norm2(c, av)
+		if err != nil {
+			return PowerResult{}, err
+		}
 		if nv == 0 {
 			return PowerResult{}, fmt.Errorf("distsolver: hit the null space")
 		}

@@ -1,0 +1,450 @@
+package distsolver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"pjds/internal/distmv"
+	"pjds/internal/gpu"
+	"pjds/internal/mpi"
+	"pjds/internal/simnet"
+	"pjds/internal/telemetry"
+)
+
+// FaultSchedule is the slice of a fault plan the recovery driver
+// consults directly: scheduled rank crashes (consumed one-shot, so a
+// replayed iteration does not crash twice) and per-rank compute
+// slowdowns. internal/faults.Plan implements it.
+type FaultSchedule interface {
+	// CrashNow reports whether rank should crash at the top of solver
+	// iteration iter; a true return is consumed.
+	CrashNow(rank, iter int) bool
+	// SlowFactor returns the compute slowdown of rank (1 = full speed).
+	SlowFactor(rank int) float64
+}
+
+// RecoverConfig parameterizes RecoverableCG.
+type RecoverConfig struct {
+	// Tol and MaxIter are the CG convergence controls.
+	Tol     float64
+	MaxIter int
+	// CheckpointEvery commits an in-memory checkpoint of the solver
+	// vectors every that many iterations (0 selects 10, negative
+	// disables checkpointing — every rollback restarts from scratch).
+	CheckpointEvery int
+	// MaxRestarts bounds rollback-restart attempts (0 selects 3).
+	MaxRestarts int
+	// Schedule (optional) injects iteration-indexed rank crashes and
+	// per-rank slowdowns.
+	Schedule FaultSchedule
+	// DeviceFaults (optional) supplies the per-rank ECC injector wired
+	// into the operator's device kernels.
+	DeviceFaults func(rank int) gpu.ECCInjector
+	// Wire, Retry and HeartbeatSeconds are passed to the message layer:
+	// wire-level fault injection, the reliable-transport retry policy,
+	// and the failure-detector period.
+	Wire             simnet.Injector
+	Retry            mpi.RetryPolicy
+	HeartbeatSeconds float64
+	// RehostSlowdown is the compute-slowdown multiplier applied to a
+	// logical rank re-hosted on a surviving node after its own node
+	// crashed — and to the rank whose node takes it in, since the two
+	// now share one device. 0 selects 2. Timing-only: keeping all P
+	// logical ranks alive preserves the partition and the reduction
+	// order, which is what makes recovered solves bit-identical.
+	RehostSlowdown float64
+	// RestartSeconds is the modelled rollback overhead charged between
+	// a detected failure and the relaunched attempt (0 selects 500µs).
+	RestartSeconds float64
+	// Inst carries telemetry (metrics, spans, optional device routing)
+	// exactly as for CG.
+	Inst *Instrument
+}
+
+func (cfg *RecoverConfig) every() int {
+	if cfg.CheckpointEvery == 0 {
+		return 10
+	}
+	return cfg.CheckpointEvery
+}
+
+func (cfg *RecoverConfig) maxRestarts() int {
+	if cfg.MaxRestarts == 0 {
+		return 3
+	}
+	return cfg.MaxRestarts
+}
+
+func (cfg *RecoverConfig) rehost() float64 {
+	if cfg.RehostSlowdown <= 0 {
+		return 2
+	}
+	return cfg.RehostSlowdown
+}
+
+func (cfg *RecoverConfig) restartSeconds() float64 {
+	if cfg.RestartSeconds <= 0 {
+		return 500e-6
+	}
+	return cfg.RestartSeconds
+}
+
+// RecoverResult reports a fault-tolerant distributed CG solve.
+type RecoverResult struct {
+	CG CGResult
+	// Restarts counts rollback-restart cycles; Checkpoints counts
+	// committed checkpoints across all attempts.
+	Restarts    int
+	Checkpoints int
+	// Failures records the root-cause error text of every aborted
+	// attempt, in order.
+	Failures []string
+	// DeadRanks lists logical ranks whose node crashed; HostOf maps
+	// every logical rank to the physical node running it (identity for
+	// survivors).
+	DeadRanks []int
+	HostOf    []int
+	// DegradedRanks lists ranks that lost their device to an ECC event
+	// and finished on the host kernels.
+	DegradedRanks []int
+	// RecoverySeconds is the modelled virtual time spent in rollback
+	// overhead (restart windows, not the replayed iterations).
+	RecoverySeconds float64
+	// Clocks holds the per-rank virtual clocks of the final attempt.
+	Clocks []float64
+}
+
+// checkpoint is one committed in-memory snapshot of the global CG
+// state: everything a relaunched attempt needs to replay the exact
+// floating-point trajectory from iteration iter onwards.
+type checkpoint struct {
+	iter      int
+	rr, bnorm float64
+	x, r, p   []float64
+	clock     float64
+}
+
+// ckptPart is one rank's contribution to a checkpoint.
+type ckptPart struct {
+	lo, hi  int
+	x, r, p []float64
+}
+
+func cloneVec(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// RecoverableCG solves A·x = b with CG under injected faults: wire
+// faults ride the message layer's reliable transport, scheduled rank
+// crashes abort the attempt and trigger rollback to the last committed
+// checkpoint with the dead rank re-hosted on a survivor, and ECC
+// events degrade individual ranks from device to host execution
+// mid-flight. b and the optional x0 are global vectors (length
+// GlobalN); the returned vector is the assembled global solution.
+// Because every recovery path replays the identical floating-point
+// sequence, the result is bit-identical to a fault-free run.
+func RecoverableCG(fabric *simnet.Fabric, problems []*distmv.RankProblem, b, x0 []float64, cfg RecoverConfig) (*RecoverResult, []float64, error) {
+	if len(problems) == 0 {
+		return nil, nil, fmt.Errorf("distsolver: RecoverableCG with no rank problems")
+	}
+	p := problems[0].P
+	n := problems[0].GlobalN
+	if len(b) != n {
+		return nil, nil, fmt.Errorf("distsolver: RecoverableCG |b|=%d, global size %d", len(b), n)
+	}
+	if x0 != nil && len(x0) != n {
+		return nil, nil, fmt.Errorf("distsolver: RecoverableCG |x0|=%d, global size %d", len(x0), n)
+	}
+	in := cfg.Inst
+	reg := in.registry()
+	reg.Help("distsolver_checkpoints_total", "committed in-memory solver checkpoints")
+	reg.Help("distsolver_rollbacks_total", "rollback-restart cycles after detected failures")
+	reg.Help("distsolver_rehosted_ranks_total", "logical ranks re-hosted on a surviving node")
+	reg.Help("distsolver_recovery_seconds_total", "modelled virtual time spent in rollback overhead")
+
+	res := &RecoverResult{HostOf: make([]int, p)}
+	for i := range res.HostOf {
+		res.HostOf[i] = i
+	}
+	dead := make([]bool, p)
+	degraded := make([]bool, p)
+	xOut := make([]float64, n)
+
+	var mu sync.Mutex // guards ckpt and final across rank goroutines
+	var ckpt *checkpoint
+	var final CGResult
+	resumeBase := 0.0 // virtual-clock floor of the next attempt
+	failAt := 0.0     // detection time of the previous attempt's failure
+
+	slowFor := func(rank int) float64 {
+		s := 1.0
+		if cfg.Schedule != nil {
+			s = cfg.Schedule.SlowFactor(rank)
+		}
+		if dead[rank] {
+			return s * cfg.rehost()
+		}
+		for f, d := range dead {
+			if d && res.HostOf[f] == rank {
+				return s * cfg.rehost()
+			}
+		}
+		return s
+	}
+
+	attempt := 0
+	for {
+		start := ckpt // committed snapshot this attempt resumes from
+		base := resumeBase
+		rollFrom := failAt
+		att := attempt
+		body := func(c *mpi.Comm) error {
+			rank := c.Rank()
+			rp := problems[rank]
+			nloc := rp.LocalRows()
+			if att > 0 {
+				// Virtual-clock continuity across attempts: the relaunch
+				// starts where the failed attempt's detection left off,
+				// plus the modelled restart overhead.
+				c.Advance(base)
+				if in != nil && in.Spans != nil {
+					in.Spans.Add(telemetry.Span{
+						Proc: rank, Lane: "recovery", Cat: "recovery", Name: "rollback",
+						Start: rollFrom, End: c.Clock(),
+						Args: map[string]string{"attempt": strconv.Itoa(att)},
+					})
+				}
+			}
+			op := NewOperator(rp, c)
+			op.Inst = in
+			op.Slow = slowFor(rank)
+			if in != nil && in.Device != nil {
+				if err := op.UseDevice(in.Device, in.Workers); err != nil {
+					return err
+				}
+			}
+			if cfg.DeviceFaults != nil {
+				op.Faults = cfg.DeviceFaults(rank)
+			}
+			defer func() {
+				if op.Degraded {
+					degraded[rank] = true // own slot only: no write overlap
+				}
+			}()
+
+			x := make([]float64, nloc)
+			r := make([]float64, nloc)
+			pv := make([]float64, nloc)
+			ap := make([]float64, nloc)
+			var rr, bnorm float64
+			startIter := 0
+			if start != nil {
+				// Restore from the checkpoint: modelled cost of reading the
+				// three vectors back, then the exact saved state.
+				c.Advance(c.Fabric().TransferSeconds(int64(3 * 8 * nloc)))
+				copy(x, start.x[rp.RowLo:rp.RowHi])
+				copy(r, start.r[rp.RowLo:rp.RowHi])
+				copy(pv, start.p[rp.RowLo:rp.RowHi])
+				rr, bnorm, startIter = start.rr, start.bnorm, start.iter
+			} else {
+				if x0 != nil {
+					copy(x, x0[rp.RowLo:rp.RowHi])
+				}
+				bloc := b[rp.RowLo:rp.RowHi]
+				if err := op.Apply(r, x); err != nil {
+					return err
+				}
+				for i := range r {
+					r[i] = bloc[i] - r[i]
+				}
+				copy(pv, r)
+				var err error
+				if rr, err = Dot(c, r, r); err != nil {
+					return err
+				}
+				if bnorm, err = Norm2(c, bloc); err != nil {
+					return err
+				}
+				if bnorm == 0 {
+					bnorm = 1
+				}
+			}
+
+			commit := func(k int) error {
+				t0 := c.Clock()
+				// Modelled cost of shipping the three vectors to the
+				// in-memory checkpoint store, then a barrier so every rank
+				// commits the same snapshot at a synchronized clock.
+				c.Advance(c.Fabric().TransferSeconds(int64(3 * 8 * nloc)))
+				parts, err := c.AllgatherUntimed(ckptPart{
+					lo: rp.RowLo, hi: rp.RowHi,
+					x: cloneVec(x), r: cloneVec(r), p: cloneVec(pv),
+				})
+				if err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if rank == 0 {
+					nc := &checkpoint{
+						iter: k, rr: rr, bnorm: bnorm, clock: c.Clock(),
+						x: make([]float64, n), r: make([]float64, n), p: make([]float64, n),
+					}
+					for _, raw := range parts {
+						cp := raw.(ckptPart)
+						copy(nc.x[cp.lo:cp.hi], cp.x)
+						copy(nc.r[cp.lo:cp.hi], cp.r)
+						copy(nc.p[cp.lo:cp.hi], cp.p)
+					}
+					mu.Lock()
+					ckpt = nc
+					res.Checkpoints++
+					mu.Unlock()
+					reg.Counter("distsolver_checkpoints_total").Inc()
+				}
+				if in != nil && in.Spans != nil {
+					in.Spans.Add(telemetry.Span{
+						Proc: rank, Lane: "recovery", Cat: "recovery", Name: "checkpoint",
+						Start: t0, End: c.Clock(),
+						Args: map[string]string{"iteration": strconv.Itoa(k)},
+					})
+				}
+				return nil
+			}
+
+			finish := func(iters int, rr float64) {
+				copy(xOut[rp.RowLo:rp.RowHi], x) // disjoint row blocks
+				if rank == 0 {
+					mu.Lock()
+					final = CGResult{Iterations: iters, Residual: math.Sqrt(rr)}
+					mu.Unlock()
+				}
+			}
+
+			every := cfg.every()
+			for k := startIter; k < cfg.MaxIter; k++ {
+				if math.Sqrt(rr) <= cfg.Tol*bnorm {
+					finish(k, rr)
+					return nil
+				}
+				if every > 0 && k > startIter && k%every == 0 {
+					if err := commit(k); err != nil {
+						return err
+					}
+				}
+				if cfg.Schedule != nil && cfg.Schedule.CrashNow(rank, k) {
+					return c.Crash()
+				}
+				t0 := c.Clock()
+				if err := op.Apply(ap, pv); err != nil {
+					return err
+				}
+				pap, err := Dot(c, pv, ap)
+				if err != nil {
+					return err
+				}
+				if pap <= 0 {
+					return fmt.Errorf("distsolver: operator not positive definite (pᵀAp = %g)", pap)
+				}
+				alpha := rr / pap
+				for i := range x {
+					x[i] += alpha * pv[i]
+					r[i] -= alpha * ap[i]
+				}
+				rrNew, err := Dot(c, r, r)
+				if err != nil {
+					return err
+				}
+				beta := rrNew / rr
+				for i := range pv {
+					pv[i] = r[i] + beta*pv[i]
+				}
+				rr = rrNew
+				in.emit(rank, "solver", "CG iteration", t0, c.Clock(),
+					map[string]string{"iteration": strconv.Itoa(k + 1)})
+			}
+			finish(cfg.MaxIter, rr)
+			return fmt.Errorf("%w: residual %g after %d iterations",
+				ErrNotConverged, math.Sqrt(rr), cfg.MaxIter)
+		}
+
+		var opts mpi.Options
+		opts.Faults = cfg.Wire
+		opts.Retry = cfg.Retry
+		opts.HeartbeatSeconds = cfg.HeartbeatSeconds
+		if in != nil {
+			opts.Metrics = in.Metrics
+			opts.Spans = in.Spans
+		}
+		clocks, err := mpi.RunWithOptions(p, fabric, opts, body)
+		res.Clocks = clocks
+		if err == nil {
+			res.CG = final
+			res.DegradedRanks = res.DegradedRanks[:0]
+			for rank, d := range degraded {
+				if d {
+					res.DegradedRanks = append(res.DegradedRanks, rank)
+				}
+			}
+			return res, xOut, nil
+		}
+		res.Failures = append(res.Failures, err.Error())
+
+		var rf *mpi.RankFailedError
+		var rx *mpi.RetriesExhaustedError
+		switch {
+		case errors.As(err, &rf):
+			if !dead[rf.Rank] {
+				dead[rf.Rank] = true
+				host, herr := survivorFor(rf.Rank, dead)
+				if herr != nil {
+					return res, nil, herr
+				}
+				res.DeadRanks = append(res.DeadRanks, rf.Rank)
+				res.HostOf[rf.Rank] = host
+				reg.Counter("distsolver_rehosted_ranks_total").Inc()
+			}
+		case errors.As(err, &rx):
+			// Transport gave up on a link: roll back and retry the
+			// attempt — the probabilistic drop schedule is seq-indexed,
+			// so the replay is deterministic but not identical.
+		default:
+			return res, nil, err
+		}
+		if res.Restarts >= cfg.maxRestarts() {
+			return res, nil, fmt.Errorf("distsolver: recovery gave up after %d restarts: %w", res.Restarts, err)
+		}
+		res.Restarts++
+		reg.Counter("distsolver_rollbacks_total").Inc()
+		failAt = maxClock(clocks)
+		resumeBase = failAt + cfg.restartSeconds()
+		res.RecoverySeconds += cfg.restartSeconds()
+		reg.Counter("distsolver_recovery_seconds_total").Add(cfg.restartSeconds())
+		attempt++
+	}
+}
+
+// survivorFor picks the physical node re-hosting a crashed logical
+// rank: the next surviving rank in ring order.
+func survivorFor(failed int, dead []bool) (int, error) {
+	p := len(dead)
+	for d := 1; d < p; d++ {
+		cand := (failed + d) % p
+		if !dead[cand] {
+			return cand, nil
+		}
+	}
+	return -1, fmt.Errorf("distsolver: no surviving rank to re-host rank %d", failed)
+}
+
+func maxClock(clocks []float64) float64 {
+	m := 0.0
+	for _, c := range clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

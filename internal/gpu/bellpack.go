@@ -21,6 +21,9 @@ func RunBELLPACK[T matrix.Float](d *Device, e *formats.BELLPACK[T], y, x []T, op
 	if len(x) != e.NCols || len(y) != e.N {
 		return nil, fmt.Errorf("gpu: BELLPACK run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
 	}
+	if err := eccCheck(opt, e.Name()); err != nil {
+		return nil, err
+	}
 	es := core.SizeofElem[T]()
 	st := &KernelStats{Kernel: e.Name(), Rows: e.N, Nnz: int64(e.NnzV), UsefulFlops: 2 * int64(e.NnzV), ElemBytes: es}
 	ws := d.WarpSize

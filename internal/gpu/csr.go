@@ -27,6 +27,9 @@ func RunCSRScalar[T matrix.Float](d *Device, m *matrix.CSR[T], y, x []T, opt Run
 	if len(x) != m.NCols || len(y) != m.NRows {
 		return nil, fmt.Errorf("gpu: CSR-scalar run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), m.NRows, m.NCols, matrix.ErrShape)
 	}
+	if err := eccCheck(opt, "CSR-scalar"); err != nil {
+		return nil, err
+	}
 	es := core.SizeofElem[T]()
 	st := &KernelStats{Kernel: "CSR-scalar", Rows: m.NRows, Nnz: int64(m.Nnz()), UsefulFlops: 2 * int64(m.Nnz()), ElemBytes: es}
 	ws := d.WarpSize
@@ -104,6 +107,9 @@ func RunCSRVector[T matrix.Float](d *Device, m *matrix.CSR[T], y, x []T, opt Run
 	}
 	if len(x) != m.NCols || len(y) != m.NRows {
 		return nil, fmt.Errorf("gpu: CSR-vector run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), m.NRows, m.NCols, matrix.ErrShape)
+	}
+	if err := eccCheck(opt, "CSR-vector"); err != nil {
+		return nil, err
 	}
 	es := core.SizeofElem[T]()
 	st := &KernelStats{Kernel: "CSR-vector", Rows: m.NRows, Nnz: int64(m.Nnz()), UsefulFlops: 2 * int64(m.Nnz()), ElemBytes: es}

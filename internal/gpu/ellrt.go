@@ -20,6 +20,9 @@ func RunELLRT[T matrix.Float](d *Device, e *formats.ELLRT[T], y, x []T, opt RunO
 	if len(x) != e.NCols || len(y) != e.N {
 		return nil, fmt.Errorf("gpu: ELLR-T run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
 	}
+	if err := eccCheck(opt, e.Name()); err != nil {
+		return nil, err
+	}
 	tpr := e.ThreadsPerRow
 	ws := d.WarpSize
 	if ws%tpr != 0 {

@@ -32,6 +32,10 @@ type RunOptions struct {
 	// phase so concurrent ranks never write the same gauge series.
 	Metrics      *telemetry.Registry
 	MetricLabels []telemetry.Label
+	// Faults (nil = healthy device) is consulted once per kernel
+	// launch; a firing injector aborts the launch with an ECCError
+	// before any work or timing is modelled.
+	Faults ECCInjector
 }
 
 // RunELLPACK executes the plain ELLPACK spMVM (Fig. 2a): every thread
@@ -44,6 +48,9 @@ func RunELLPACK[T matrix.Float](d *Device, e *formats.ELLPACK[T], y, x []T, opt 
 	}
 	if len(x) != e.NCols || len(y) != e.N {
 		return nil, fmt.Errorf("gpu: ELLPACK run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
+	}
+	if err := eccCheck(opt, "ELLPACK"); err != nil {
+		return nil, err
 	}
 	p := planFor(opt, d, "ELLPACK", e, func() *Plan[T] {
 		// Plain ELLPACK has no row-length array on the device: every
@@ -76,6 +83,9 @@ func RunELLPACKR[T matrix.Float](d *Device, e *formats.ELLPACKR[T], y, x []T, op
 	if len(x) != e.NCols || len(y) != e.N {
 		return nil, fmt.Errorf("gpu: ELLPACK-R run |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), e.N, e.NCols, matrix.ErrShape)
 	}
+	if err := eccCheck(opt, "ELLPACK-R"); err != nil {
+		return nil, err
+	}
 	p := planFor(opt, d, "ELLPACK-R", e, func() *Plan[T] {
 		return compilePlan(d, planSource[T]{
 			kernel: "ELLPACK-R", rows: e.N, cols: e.NCols, nPad: e.NPad,
@@ -102,6 +112,9 @@ func RunPJDS[T matrix.Float](d *Device, p *core.PJDS[T], yp, xp []T, opt RunOpti
 	if len(xp) != p.NCols || len(yp) < p.N {
 		return nil, fmt.Errorf("gpu: pJDS run |x|=%d |y|=%d on %dx%d: %w", len(xp), len(yp), p.N, p.NCols, matrix.ErrShape)
 	}
+	if err := eccCheck(opt, p.Name()); err != nil {
+		return nil, err
+	}
 	pl := planFor(opt, d, p.Name(), p, func() *Plan[T] {
 		return compilePlan(d, planSource[T]{
 			kernel: p.Name(), rows: p.N, cols: p.NCols, nPad: p.NPad,
@@ -127,6 +140,9 @@ func RunSlicedELL[T matrix.Float](d *Device, s *formats.SlicedELL[T], yp, xp []T
 	}
 	if len(xp) != s.NCols || len(yp) < s.N {
 		return nil, fmt.Errorf("gpu: sliced-ELL run |x|=%d |y|=%d on %dx%d: %w", len(xp), len(yp), s.N, s.NCols, matrix.ErrShape)
+	}
+	if err := eccCheck(opt, s.Name()); err != nil {
+		return nil, err
 	}
 	p := planFor(opt, d, s.Name(), s, func() *Plan[T] {
 		return compilePlan(d, planSource[T]{

@@ -1,6 +1,10 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+
+	"pjds/internal/simnet"
+)
 
 // coordinator implements generation-counted rendezvous for the
 // collectives: each rank arrives with its clock and an optional
@@ -27,6 +31,10 @@ type coordinator struct {
 	gen     int
 	current rendezvousResult
 	frozen  rendezvousResult
+	// broken latches the first rank death: a dead rank will never
+	// rendezvous again, so every collective after (or concurrent with)
+	// the death fails with the peer's identity instead of deadlocking.
+	broken *simnet.PeerFailedError
 }
 
 func newCoordinator(n int) *coordinator {
@@ -37,12 +45,27 @@ func newCoordinator(n int) *coordinator {
 	return c
 }
 
+// markFailed latches the first rank death and wakes every waiter.
+func (c *coordinator) markFailed(rank int, at float64) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = &simnet.PeerFailedError{Rank: rank, FailedAt: at}
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
 // rendezvous blocks until all n ranks have arrived in this generation,
 // then returns the frozen result (max clock, all payloads in rank
-// order).
-func (c *coordinator) rendezvous(rank int, clock float64, payload any) rendezvousResult {
+// order). Once a rank death is latched, arriving and waiting ranks get
+// the PeerFailedError instead; a generation whose last rank arrived
+// before the death still completes normally.
+func (c *coordinator) rendezvous(rank int, clock float64, payload any) (rendezvousResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return rendezvousResult{}, c.broken
+	}
 	gen := c.gen
 	if clock > c.current.maxClock {
 		c.current.maxClock = clock
@@ -58,10 +81,13 @@ func (c *coordinator) rendezvous(rank int, clock float64, payload any) rendezvou
 		c.arrived = 0
 		c.gen++
 		c.cond.Broadcast()
-		return c.frozen
+		return c.frozen, nil
 	}
 	for gen == c.gen {
+		if c.broken != nil {
+			return rendezvousResult{}, c.broken
+		}
 		c.cond.Wait()
 	}
-	return c.frozen
+	return c.frozen, nil
 }

@@ -56,16 +56,26 @@ func TestRunRecoversPanics(t *testing.T) {
 func TestPingPongData(t *testing.T) {
 	_, err := Run(2, fabric(), func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 0, []float64{3.5, -1}, 16)
-			m := c.Recv(1, 1)
+			if err := c.Send(1, 0, []float64{3.5, -1}, 16); err != nil {
+				return err
+			}
+			m, err := c.Recv(1, 1)
+			if err != nil {
+				return err
+			}
 			got := m.Payload.([]float64)
 			if got[0] != 7 || got[1] != -2 {
 				t.Errorf("pong = %v", got)
 			}
 		} else {
-			m := c.Recv(0, 0)
+			m, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
 			in := m.Payload.([]float64)
-			c.Send(0, 1, []float64{2 * in[0], 2 * in[1]}, 16)
+			if err := c.Send(0, 1, []float64{2 * in[0], 2 * in[1]}, 16); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -155,7 +165,10 @@ func TestNICInjectionSerialization(t *testing.T) {
 		case 1:
 			c.Recv(0, 0)
 		case 2:
-			m := c.Recv(0, 0)
+			m, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
 			arrive2 = m.ArrivesAt
 		}
 		return nil
@@ -192,11 +205,17 @@ func TestBarrierSynchronizesClocks(t *testing.T) {
 
 func TestAllreduceSumAndMax(t *testing.T) {
 	_, err := Run(5, fabric(), func(c *Comm) error {
-		sum := c.AllreduceSum(float64(c.Rank() + 1))
+		sum, err := c.AllreduceSum(float64(c.Rank() + 1))
+		if err != nil {
+			return err
+		}
 		if sum != 15 {
 			t.Errorf("rank %d: sum = %g", c.Rank(), sum)
 		}
-		max := c.AllreduceMax(float64(c.Rank()))
+		max, err := c.AllreduceMax(float64(c.Rank()))
+		if err != nil {
+			return err
+		}
 		if max != 4 {
 			t.Errorf("rank %d: max = %g", c.Rank(), max)
 		}
@@ -223,7 +242,10 @@ func TestAllreduceCostsTime(t *testing.T) {
 
 func TestAllgatherUntimed(t *testing.T) {
 	clocks, err := Run(3, fabric(), func(c *Comm) error {
-		got := c.AllgatherUntimed(c.Rank() * 10)
+		got, err := c.AllgatherUntimed(c.Rank() * 10)
+		if err != nil {
+			return err
+		}
 		for r, v := range got {
 			if v.(int) != r*10 {
 				t.Errorf("gathered[%d] = %v", r, v)
@@ -244,11 +266,16 @@ func TestAllgatherUntimed(t *testing.T) {
 func TestMultipleCollectivesInSequence(t *testing.T) {
 	_, err := Run(4, fabric(), func(c *Comm) error {
 		for i := 0; i < 10; i++ {
-			sum := c.AllreduceSum(1)
+			sum, err := c.AllreduceSum(1)
+			if err != nil {
+				return err
+			}
 			if sum != 4 {
 				t.Errorf("iter %d: sum = %g", i, sum)
 			}
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -277,31 +304,35 @@ func TestWaitIdempotent(t *testing.T) {
 	}
 }
 
+// TestClockGuards pins the exact error texts of the typed ClockError
+// that replaced the clock-violation panics: the first violation is
+// latched on the Comm and surfaced by Run.
 func TestClockGuards(t *testing.T) {
 	_, err := Run(1, fabric(), func(c *Comm) error {
 		c.Advance(1)
-		defer func() {
-			if recover() == nil {
-				t.Error("backwards SetClock accepted")
-			}
-		}()
 		c.SetClock(0.5)
+		if c.Err() == nil {
+			t.Error("backwards SetClock not latched")
+		}
+		c.Advance(1) // no-op after the latch
+		if c.Clock() != 1 {
+			t.Errorf("clock moved after latch: %g", c.Clock())
+		}
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
+	var ce *ClockError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ClockError", err)
+	}
+	if got, want := err.Error(), "mpi: clock moving backwards: 0.5 < 1"; got != want {
+		t.Errorf("error text = %q, want %q", got, want)
 	}
 	_, err = Run(1, fabric(), func(c *Comm) error {
-		defer func() {
-			if recover() == nil {
-				t.Error("negative Advance accepted")
-			}
-		}()
 		c.Advance(-1)
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
+	if err == nil || err.Error() != "mpi: negative time advance" {
+		t.Errorf("negative advance err = %v, want exact legacy text", err)
 	}
 }
 

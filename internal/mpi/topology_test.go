@@ -20,10 +20,16 @@ func TestIntraNodeFaster(t *testing.T) {
 			c.Send(1, 0, nil, bytes)
 			c.Send(2, 0, nil, bytes)
 		case 1:
-			m := c.Recv(0, 0)
+			m, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
 			sameNode = m.ArrivesAt - m.SentAt
 		case 2:
-			m := c.Recv(0, 0)
+			m, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
 			crossNode = m.ArrivesAt - m.SentAt
 		}
 		return nil

@@ -1,0 +1,71 @@
+package simnet
+
+import "fmt"
+
+// SendFault is the injected fate of one message transmission, decided
+// by an Injector at the moment the message enters the wire. The zero
+// value is a healthy transmission.
+type SendFault struct {
+	// DropAttempts is the number of transmission attempts the wire
+	// loses before one succeeds. The payload is never corrupted — the
+	// reliable-transport layer (internal/mpi) charges one
+	// timeout+backoff per lost attempt and errors out when the count
+	// exceeds its retry budget.
+	DropAttempts int
+	// ExtraDelaySeconds is added to the message's arrival time
+	// (congestion, routing anomaly).
+	ExtraDelaySeconds float64
+	// Duplicate delivers a second, spurious copy of the message one
+	// fabric latency later; the switch deduplicates it at the receiver
+	// and counts it.
+	Duplicate bool
+	// BandwidthFactor > 1 divides the link bandwidth for this message
+	// (link degradation); 0 and 1 leave it untouched.
+	BandwidthFactor float64
+}
+
+// IsZero reports whether the fault changes anything.
+func (f SendFault) IsZero() bool {
+	return f.DropAttempts == 0 && f.ExtraDelaySeconds == 0 && !f.Duplicate &&
+		(f.BandwidthFactor == 0 || f.BandwidthFactor == 1)
+}
+
+// Injector decides the fate of every message entering the wire.
+// Implementations must be safe for concurrent use by the rank
+// goroutines and deterministic in (src, dst, tag, bytes, seq) — seq is
+// the per-link message sequence number, so a seeded plan reproduces
+// the exact same fault schedule on every run. internal/faults provides
+// the standard implementation.
+type Injector interface {
+	OnSend(src, dst, tag int, bytes int64, seq int64) SendFault
+}
+
+// RangeError reports a send or receive addressed outside the rank set.
+// It replaces the panics these conditions used to raise, so a buggy
+// (or fault-injected) caller degrades into an error the run can
+// surface instead of a crash.
+type RangeError struct {
+	Op       string // "send" or "recv"
+	Src, Dst int    // as rendered: send Src→Dst, recv Dst←Src
+	Ranks    int
+}
+
+func (e *RangeError) Error() string {
+	if e.Op == "recv" {
+		return fmt.Sprintf("simnet: recv %d←%d outside %d ranks", e.Dst, e.Src, e.Ranks)
+	}
+	return fmt.Sprintf("simnet: send %d→%d outside %d ranks", e.Src, e.Dst, e.Ranks)
+}
+
+// PeerFailedError reports that the rank a receive is blocked on has
+// died: its mailbox will never produce the message. The failure
+// detector in internal/mpi converts it into a RankFailedError with
+// detection timing.
+type PeerFailedError struct {
+	Rank     int     // the dead rank
+	FailedAt float64 // virtual time of death
+}
+
+func (e *PeerFailedError) Error() string {
+	return fmt.Sprintf("simnet: rank %d failed at t=%gs", e.Rank, e.FailedAt)
+}

@@ -4,16 +4,28 @@ import "sync"
 
 // mailbox is an unbounded, tag-matching message queue between one
 // (src, dst) rank pair. put never blocks; get blocks until a message
-// with the requested tag exists. Within one tag, messages are
-// delivered in the order they were put (MPI's non-overtaking rule).
+// with the requested tag exists or the source rank is marked failed.
+// Within one tag, messages are delivered in the order they were put
+// (MPI's non-overtaking rule). Injected duplicates are dropped at
+// delivery time: every message carries a per-link sequence number, and
+// a copy whose sequence was already delivered never reaches the
+// receiver.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []Message
+	// srcFailed is latched by Switch.MarkFailed; a get that finds no
+	// matching message then returns the failure instead of blocking.
+	srcFailed   bool
+	srcFailedAt float64
+	// delivered records the sequence numbers handed to the receiver so
+	// spurious duplicate copies can be recognized and discarded.
+	delivered   map[int64]bool
+	dupsDropped int
 }
 
 func newMailbox() *mailbox {
-	b := &mailbox{}
+	b := &mailbox{delivered: map[int64]bool{}}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -25,15 +37,46 @@ func (b *mailbox) put(m Message) {
 	b.cond.Broadcast()
 }
 
-func (b *mailbox) get(tag int) Message {
+// markFailed latches the source rank's death and wakes all blocked
+// receivers.
+func (b *mailbox) markFailed(at float64) {
+	b.mu.Lock()
+	if !b.srcFailed {
+		b.srcFailed = true
+		b.srcFailedAt = at
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// get returns the next message with the given tag, or a PeerFailedError
+// when the source rank died and no matching message is pending. The
+// number of duplicate copies discarded while scanning is returned for
+// telemetry.
+func (b *mailbox) get(tag int) (Message, int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	dups := 0
 	for {
-		for i, m := range b.pending {
+		for i := 0; i < len(b.pending); i++ {
+			m := b.pending[i]
+			if m.Dup && b.delivered[m.Seq] {
+				// A spurious duplicate of an already-delivered message:
+				// discard and keep scanning.
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				b.dupsDropped++
+				dups++
+				i--
+				continue
+			}
 			if m.Tag == tag {
 				b.pending = append(b.pending[:i], b.pending[i+1:]...)
-				return m
+				b.delivered[m.Seq] = true
+				return m, dups, nil
 			}
+		}
+		if b.srcFailed {
+			return Message{}, dups, &PeerFailedError{FailedAt: b.srcFailedAt}
 		}
 		b.cond.Wait()
 	}

@@ -45,10 +45,10 @@ func TestSwitchMetrics(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	sw.SetMetrics(reg)
 
-	sw.Send(0, 1, 0, "a", 1000, 0)
-	sw.Send(0, 1, 1, "b", 3000, 0.5)
-	sw.Recv(1, 0, 0)
-	sw.Recv(1, 0, 1)
+	mustSend(t, sw, 0, 1, 0, "a", 1000, 0)
+	mustSend(t, sw, 0, 1, 1, "b", 3000, 0.5)
+	mustRecv(t, sw, 1, 0, 0)
+	mustRecv(t, sw, 1, 0, 1)
 
 	lbl := []telemetry.Label{telemetry.Li("rank", 0), telemetry.L("fabric", fab.Name)}
 	if got := reg.Counter("simnet_sent_messages_total", lbl...).Value(); got != 2 {
@@ -86,8 +86,8 @@ func TestSwitchMetricsTopology(t *testing.T) {
 	}
 	reg := telemetry.NewRegistry()
 	sw.SetMetrics(reg)
-	sw.Send(0, 1, 0, nil, 100, 0) // same node
-	sw.Send(0, 2, 0, nil, 100, 0) // crosses nodes
+	mustSend(t, sw, 0, 1, 0, nil, 100, 0) // same node
+	mustSend(t, sw, 0, 2, 0, nil, 100, 0) // crosses nodes
 	intra := telemetry.L("fabric", SharedMemory().Name)
 	inter := telemetry.L("fabric", QDRInfiniBand().Name)
 	if got := reg.Counter("simnet_sent_messages_total", telemetry.Li("rank", 0), intra).Value(); got != 1 {

@@ -14,7 +14,10 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pjds/internal/telemetry"
 )
@@ -85,8 +88,17 @@ type Message struct {
 	Bytes int64
 	// SentAt is the virtual time the message entered the wire.
 	SentAt float64
-	// ArrivesAt is SentAt + wire time.
+	// ArrivesAt is SentAt + wire time (plus any injected delay).
 	ArrivesAt float64
+	// Seq is the per-link sequence number assigned at injection; it
+	// identifies duplicate copies and keys deterministic fault plans.
+	Seq int64
+	// DropAttempts is the number of transmission attempts an injected
+	// fault lost before this delivery; the reliable-transport layer in
+	// internal/mpi charges one timeout+backoff per lost attempt.
+	DropAttempts int
+	// Dup marks an injected spurious duplicate copy.
+	Dup bool
 }
 
 // WireSeconds returns the message's modelled time on the wire
@@ -108,6 +120,14 @@ type Switch struct {
 	// metrics (optional) receives wire-traffic telemetry; set before
 	// the rank goroutines start.
 	metrics *telemetry.Registry
+	// faults (optional) decides the fate of every injected message; set
+	// before the rank goroutines start.
+	faults Injector
+	// seq assigns per-link sequence numbers (index src*n + dst).
+	seq []atomic.Int64
+	// failure state: failedAt[r] >= 0 once rank r is marked dead.
+	failMu   sync.Mutex
+	failedAt []float64
 }
 
 // SetMetrics attaches a telemetry registry to the exchange. Every
@@ -173,11 +193,57 @@ func NewSwitch(fabric *Fabric, n int) (*Switch, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("simnet: %d ranks", n)
 	}
-	s := &Switch{fabric: fabric, n: n, boxes: make([]*mailbox, n*n)}
+	s := &Switch{
+		fabric:   fabric,
+		n:        n,
+		boxes:    make([]*mailbox, n*n),
+		seq:      make([]atomic.Int64, n*n),
+		failedAt: make([]float64, n),
+	}
 	for i := range s.boxes {
 		s.boxes[i] = newMailbox()
 	}
+	for i := range s.failedAt {
+		s.failedAt[i] = -1
+	}
 	return s, nil
+}
+
+// SetFaults attaches a fault injector consulted for every message
+// entering the wire. Must be called before concurrent use.
+func (s *Switch) SetFaults(inj Injector) { s.faults = inj }
+
+// MarkFailed declares rank r dead at virtual time at: receivers blocked
+// on (or later blocking on) its mailboxes are released with a
+// PeerFailedError once no matching message is pending. Marking the same
+// rank twice keeps the first death time.
+func (s *Switch) MarkFailed(r int, at float64) {
+	if r < 0 || r >= s.n {
+		return
+	}
+	s.failMu.Lock()
+	if s.failedAt[r] < 0 {
+		s.failedAt[r] = at
+	}
+	s.failMu.Unlock()
+	for dst := 0; dst < s.n; dst++ {
+		s.boxes[r*s.n+dst].markFailed(at)
+	}
+	if reg := s.metrics; reg != nil {
+		reg.Help("simnet_rank_failures_total", "ranks marked dead on the fabric")
+		reg.Counter("simnet_rank_failures_total", telemetry.Li("rank", r)).Inc()
+	}
+}
+
+// FailedAt returns the virtual death time of rank r and whether it has
+// been marked failed.
+func (s *Switch) FailedAt(r int) (float64, bool) {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if r < 0 || r >= s.n || s.failedAt[r] < 0 {
+		return 0, false
+	}
+	return s.failedAt[r], true
 }
 
 // Ranks returns the number of ranks.
@@ -187,17 +253,33 @@ func (s *Switch) Ranks() int { return s.n }
 func (s *Switch) Fabric() *Fabric { return s.fabric }
 
 // Send injects a message with the given payload and modelled size at
-// virtual time sentAt, returning its arrival time at dst.
-func (s *Switch) Send(src, dst, tag int, payload any, bytes int64, sentAt float64) float64 {
+// virtual time sentAt, returning its arrival time at dst. An attached
+// fault injector may delay the message, degrade the link, record lost
+// transmission attempts on it, or enqueue a spurious duplicate copy.
+func (s *Switch) Send(src, dst, tag int, payload any, bytes int64, sentAt float64) (float64, error) {
 	if src < 0 || src >= s.n || dst < 0 || dst >= s.n {
-		panic(fmt.Sprintf("simnet: send %d→%d outside %d ranks", src, dst, s.n))
+		return 0, &RangeError{Op: "send", Src: src, Dst: dst, Ranks: s.n}
 	}
 	fab := s.FabricFor(src, dst)
+	link := src*s.n + dst
+	seq := s.seq[link].Add(1) - 1
+	var fault SendFault
+	if s.faults != nil {
+		fault = s.faults.OnSend(src, dst, tag, bytes, seq)
+	}
+	transfer := fab.TransferSeconds(bytes)
+	if fault.BandwidthFactor > 1 {
+		// Degraded link: only the serialization part stretches, the
+		// latency term is unchanged.
+		transfer = fab.LatencySeconds + (transfer-fab.LatencySeconds)*fault.BandwidthFactor
+	}
 	m := Message{
 		Src: src, Dst: dst, Tag: tag,
 		Payload: payload, Bytes: bytes,
-		SentAt:    sentAt,
-		ArrivesAt: sentAt + fab.TransferSeconds(bytes),
+		SentAt:       sentAt,
+		ArrivesAt:    sentAt + transfer + fault.ExtraDelaySeconds,
+		Seq:          seq,
+		DropAttempts: fault.DropAttempts,
 	}
 	if reg := s.metrics; reg != nil {
 		lbl := []telemetry.Label{telemetry.Li("rank", src), telemetry.L("fabric", fab.Name)}
@@ -205,23 +287,61 @@ func (s *Switch) Send(src, dst, tag int, payload any, bytes int64, sentAt float6
 		reg.Counter("simnet_sent_bytes_total", lbl...).Add(float64(m.Bytes))
 		reg.Counter("simnet_wire_seconds_total", lbl...).Add(m.ArrivesAt - m.SentAt)
 		reg.Histogram("simnet_message_bytes", nil, telemetry.L("fabric", fab.Name)).Observe(float64(m.Bytes))
+		if !fault.IsZero() {
+			reg.Help("simnet_faults_injected_total", "message-level faults injected into the wire")
+			flbl := []telemetry.Label{telemetry.Li("rank", src)}
+			if fault.DropAttempts > 0 {
+				reg.Counter("simnet_faults_injected_total", append(flbl, telemetry.L("kind", "drop"))...).Add(float64(fault.DropAttempts))
+			}
+			if fault.ExtraDelaySeconds > 0 {
+				reg.Counter("simnet_faults_injected_total", append(flbl, telemetry.L("kind", "delay"))...).Inc()
+			}
+			if fault.Duplicate {
+				reg.Counter("simnet_faults_injected_total", append(flbl, telemetry.L("kind", "duplicate"))...).Inc()
+			}
+			if fault.BandwidthFactor > 1 {
+				reg.Counter("simnet_faults_injected_total", append(flbl, telemetry.L("kind", "degrade"))...).Inc()
+			}
+		}
 	}
-	s.boxes[src*s.n+dst].put(m)
-	return m.ArrivesAt
+	s.boxes[link].put(m)
+	if fault.Duplicate {
+		dup := m
+		dup.Dup = true
+		dup.ArrivesAt += fab.LatencySeconds
+		s.boxes[link].put(dup)
+	}
+	return m.ArrivesAt, nil
 }
 
 // Recv blocks (in host time) until a message with the given tag from
 // src is available and returns it. Messages between a pair are matched
 // in tag order of arrival, as MPI guarantees per-tag ordering.
-func (s *Switch) Recv(dst, src, tag int) Message {
+// Spurious duplicate copies are discarded (and counted) here; when src
+// has been marked failed and no matching message is pending, Recv
+// returns a PeerFailedError instead of blocking forever.
+func (s *Switch) Recv(dst, src, tag int) (Message, error) {
 	if src < 0 || src >= s.n || dst < 0 || dst >= s.n {
-		panic(fmt.Sprintf("simnet: recv %d←%d outside %d ranks", dst, src, s.n))
+		return Message{}, &RangeError{Op: "recv", Src: src, Dst: dst, Ranks: s.n}
 	}
-	m := s.boxes[src*s.n+dst].get(tag)
+	m, dups, err := s.boxes[src*s.n+dst].get(tag)
 	if reg := s.metrics; reg != nil {
-		lbl := []telemetry.Label{telemetry.Li("rank", dst)}
-		reg.Counter("simnet_recv_messages_total", lbl...).Inc()
-		reg.Counter("simnet_recv_bytes_total", lbl...).Add(float64(m.Bytes))
+		if dups > 0 {
+			reg.Help("simnet_duplicates_dropped_total", "spurious duplicate deliveries discarded at the receiver")
+			reg.Counter("simnet_duplicates_dropped_total", telemetry.Li("rank", dst)).Add(float64(dups))
+		}
+		if err == nil {
+			lbl := []telemetry.Label{telemetry.Li("rank", dst)}
+			reg.Counter("simnet_recv_messages_total", lbl...).Inc()
+			reg.Counter("simnet_recv_bytes_total", lbl...).Add(float64(m.Bytes))
+		}
 	}
-	return m
+	if err != nil {
+		var pf *PeerFailedError
+		if errors.As(err, &pf) {
+			pf.Rank = src
+		}
+		return Message{}, err
+	}
+	return m, nil
 }

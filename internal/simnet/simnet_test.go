@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -44,12 +45,18 @@ func TestSendRecvTiming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	arr := sw.Send(0, 1, 7, []float64{1, 2}, 1600, 1.0)
+	arr, err := sw.Send(0, 1, 7, []float64{1, 2}, 1600, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 1.0 + sw.Fabric().TransferSeconds(1600)
 	if math.Abs(arr-want) > 1e-12 {
 		t.Errorf("arrival = %g, want %g", arr, want)
 	}
-	m := sw.Recv(1, 0, 7)
+	m, err := sw.Recv(1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.ArrivesAt != arr || m.Src != 0 || m.Dst != 1 || m.Tag != 7 {
 		t.Errorf("message = %+v", m)
 	}
@@ -63,18 +70,37 @@ func TestTagMatchingOutOfOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw.Send(0, 1, 1, "a", 8, 0)
-	sw.Send(0, 1, 2, "b", 8, 0)
-	sw.Send(0, 1, 1, "c", 8, 0.5)
-	if m := sw.Recv(1, 0, 2); m.Payload.(string) != "b" {
+	mustSend(t, sw, 0, 1, 1, "a", 8, 0)
+	mustSend(t, sw, 0, 1, 2, "b", 8, 0)
+	mustSend(t, sw, 0, 1, 1, "c", 8, 0.5)
+	if m := mustRecv(t, sw, 1, 0, 2); m.Payload.(string) != "b" {
 		t.Error("tag 2 mismatch")
 	}
-	if m := sw.Recv(1, 0, 1); m.Payload.(string) != "a" {
+	if m := mustRecv(t, sw, 1, 0, 1); m.Payload.(string) != "a" {
 		t.Error("tag 1 order violated")
 	}
-	if m := sw.Recv(1, 0, 1); m.Payload.(string) != "c" {
+	if m := mustRecv(t, sw, 1, 0, 1); m.Payload.(string) != "c" {
 		t.Error("second tag-1 message")
 	}
+}
+
+// mustSend/mustRecv keep the happy-path tests terse.
+func mustSend(t *testing.T, sw *Switch, src, dst, tag int, payload any, bytes int64, at float64) float64 {
+	t.Helper()
+	arr, err := sw.Send(src, dst, tag, payload, bytes, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func mustRecv(t *testing.T, sw *Switch, dst, src, tag int) Message {
+	t.Helper()
+	m, err := sw.Recv(dst, src, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func TestRecvBlocksUntilSend(t *testing.T) {
@@ -87,29 +113,104 @@ func TestRecvBlocksUntilSend(t *testing.T) {
 	var got Message
 	go func() {
 		defer wg.Done()
-		got = sw.Recv(1, 0, 9)
+		got = mustRecv(t, sw, 1, 0, 9)
 	}()
-	sw.Send(0, 1, 9, 42, 4, 0)
+	mustSend(t, sw, 0, 1, 9, 42, 4, 0)
 	wg.Wait()
 	if got.Payload.(int) != 42 {
 		t.Error("blocked recv got wrong payload")
 	}
 }
 
-func TestSendOutOfRangePanics(t *testing.T) {
+// TestOutOfRangeTypedErrors pins the exact error text of the typed
+// RangeError that replaced the out-of-range send/recv panics.
+func TestOutOfRangeTypedErrors(t *testing.T) {
 	sw, _ := NewSwitch(QDRInfiniBand(), 2)
-	for _, f := range []func(){
-		func() { sw.Send(2, 0, 0, nil, 0, 0) },
-		func() { sw.Send(0, -1, 0, nil, 0, 0) },
-		func() { sw.Recv(0, 5, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+	cases := []struct {
+		call func() error
+		want string
+	}{
+		{func() error { _, err := sw.Send(2, 0, 0, nil, 0, 0); return err }, "simnet: send 2→0 outside 2 ranks"},
+		{func() error { _, err := sw.Send(0, -1, 0, nil, 0, 0); return err }, "simnet: send 0→-1 outside 2 ranks"},
+		{func() error { _, err := sw.Recv(0, 5, 0); return err }, "simnet: recv 0←5 outside 2 ranks"},
+	}
+	for _, c := range cases {
+		err := c.call()
+		if err == nil {
+			t.Fatalf("expected error %q, got nil", c.want)
+		}
+		var re *RangeError
+		if !errors.As(err, &re) {
+			t.Errorf("error %v is not a *RangeError", err)
+		}
+		if err.Error() != c.want {
+			t.Errorf("error text = %q, want %q", err.Error(), c.want)
+		}
+	}
+}
+
+// TestMarkFailedReleasesBlockedRecv: a receiver blocked on a dead
+// rank's mailbox is released with a typed PeerFailedError carrying the
+// death time; pending messages sent before the crash still deliver.
+func TestMarkFailedReleasesBlockedRecv(t *testing.T) {
+	sw, _ := NewSwitch(QDRInfiniBand(), 2)
+	mustSend(t, sw, 0, 1, 0, "before", 8, 0)
+	sw.MarkFailed(0, 2.5)
+	if m := mustRecv(t, sw, 1, 0, 0); m.Payload.(string) != "before" {
+		t.Error("pre-crash message lost")
+	}
+	_, err := sw.Recv(1, 0, 1)
+	var pf *PeerFailedError
+	if !errors.As(err, &pf) {
+		t.Fatalf("err = %v, want PeerFailedError", err)
+	}
+	if pf.Rank != 0 || pf.FailedAt != 2.5 {
+		t.Errorf("PeerFailedError = %+v", pf)
+	}
+	if at, ok := sw.FailedAt(0); !ok || at != 2.5 {
+		t.Errorf("FailedAt = %g, %v", at, ok)
+	}
+}
+
+// dropNth drops (once) the nth message on a link and duplicates the
+// one after it — a minimal deterministic injector for switch tests.
+type dropNth struct {
+	n     int64
+	drops int
+}
+
+func (d *dropNth) OnSend(src, dst, tag int, bytes int64, seq int64) SendFault {
+	switch seq {
+	case d.n:
+		return SendFault{DropAttempts: d.drops}
+	case d.n + 1:
+		return SendFault{Duplicate: true}
+	}
+	return SendFault{}
+}
+
+// TestInjectorDropAndDuplicate: drop attempts ride on the delivered
+// message; a duplicate copy is discarded at the receiver.
+func TestInjectorDropAndDuplicate(t *testing.T) {
+	sw, _ := NewSwitch(QDRInfiniBand(), 2)
+	sw.SetFaults(&dropNth{n: 1, drops: 2})
+	mustSend(t, sw, 0, 1, 0, "a", 8, 0)
+	mustSend(t, sw, 0, 1, 1, "b", 8, 0)
+	mustSend(t, sw, 0, 1, 2, "c", 8, 0)
+	if m := mustRecv(t, sw, 1, 0, 0); m.DropAttempts != 0 {
+		t.Errorf("message a: %d drop attempts", m.DropAttempts)
+	}
+	if m := mustRecv(t, sw, 1, 0, 1); m.DropAttempts != 2 {
+		t.Errorf("message b: %d drop attempts, want 2", m.DropAttempts)
+	}
+	if m := mustRecv(t, sw, 1, 0, 2); m.Dup {
+		t.Error("original delivery marked as duplicate")
+	}
+	// The duplicate of "c" must not satisfy a later tag-2 receive: it
+	// is discarded while scanning, and with rank 0 alive the receive
+	// would block — assert via a failed-rank release instead.
+	sw.MarkFailed(0, 1)
+	if _, err := sw.Recv(1, 0, 2); err == nil {
+		t.Error("duplicate satisfied a second receive")
 	}
 }

@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"pjds/internal/core"
+	"pjds/internal/gpu"
+	"pjds/internal/matgen"
+	"pjds/internal/telemetry"
+)
+
+// eccAt fires one uncorrectable ECC event at a fixed launch index.
+type eccAt struct {
+	at     int
+	launch int
+}
+
+func (f *eccAt) ECCEvent(kernel string) bool {
+	l := f.launch
+	f.launch++
+	return l == f.at
+}
+
+// TestECCDegradationBitExact: an uncorrectable ECC error mid-solve
+// downgrades the operator from device to host execution, and the CG
+// trajectory — iteration count and solution bits — is identical to a
+// pure host solve, because both kernels sum rows in stored column
+// order.
+func TestECCDegradationBitExact(t *testing.T) {
+	m := matgen.Stencil2D(20, 20)
+	n := m.NRows
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Cos(0.03 * float64(i))
+	}
+	b := make([]float64, n)
+	if err := m.MulVec(b, want); err != nil {
+		t.Fatal(err)
+	}
+
+	solve := func(op Operator, perm *PermutedPJDS) ([]float64, CGResult) {
+		bp := make([]float64, n)
+		perm.Enter(bp, b)
+		xp := make([]float64, n)
+		res, err := CG(op, xp, bp, 1e-11, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		perm.Leave(x, xp)
+		return x, res
+	}
+
+	host, err := NewPermutedPJDS(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevicePJDS(m, core.Options{}, gpu.TeslaC2070())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Opt.Metrics = telemetry.NewRegistry()
+	dev.Opt.Plans = gpu.NewPlanCache(0)
+	dev.Opt.Faults = &eccAt{at: 3}
+
+	xh, rh := solve(host, host)
+	xd, rd := solve(dev, dev.PermutedPJDS)
+
+	if !dev.Degraded || dev.DegradedAt != 3 {
+		t.Fatalf("operator not degraded at launch 3: %v at %d", dev.Degraded, dev.DegradedAt)
+	}
+	if rh.Iterations != rd.Iterations {
+		t.Errorf("degraded CG took %d iterations, host %d", rd.Iterations, rh.Iterations)
+	}
+	for i := range xh {
+		if math.Float64bits(xh[i]) != math.Float64bits(xd[i]) {
+			t.Fatalf("solutions diverge at %d: %g vs %g", i, xd[i], xh[i])
+		}
+	}
+	// Simulated kernel time stopped accumulating at the ECC hit: only
+	// the three healthy device launches contributed.
+	if dev.Last == nil || math.Abs(dev.SimSeconds-3*dev.Last.KernelSeconds) > 1e-12 {
+		t.Errorf("SimSeconds = %g after degradation", dev.SimSeconds)
+	}
+	// Applies still counts every application, device or host.
+	if dev.Applies != rd.Iterations+1 {
+		t.Errorf("Applies = %d, iterations = %d", dev.Applies, rd.Iterations)
+	}
+}

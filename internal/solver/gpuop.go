@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"errors"
+
 	"pjds/internal/core"
 	"pjds/internal/gpu"
 	"pjds/internal/matrix"
@@ -26,6 +28,15 @@ type DevicePJDS struct {
 	Applies    int
 	SimSeconds float64
 	Last       *gpu.KernelStats
+	// Degraded is latched when a kernel launch takes a simulated
+	// uncorrectable ECC error: the device is treated as lost and every
+	// application from then on runs the host CPU kernel instead.
+	// Because both paths sum each row in stored column order, the
+	// solve's numeric trajectory is bit-identical either way — only
+	// the timing model stops accumulating.
+	Degraded bool
+	// DegradedAt records the launch index that took the ECC hit.
+	DegradedAt int
 }
 
 // NewDevicePJDS builds the device-backed operator for a square matrix.
@@ -40,14 +51,26 @@ func NewDevicePJDS(m *matrix.CSR[float64], opt core.Options, dev *gpu.Device) (*
 	return &DevicePJDS{PermutedPJDS: p, Dev: dev}, nil
 }
 
-// Apply implements Operator in the permuted basis on the device.
+// Apply implements Operator in the permuted basis: on the device
+// while it is healthy, on the host CPU kernel after an uncorrectable
+// ECC error (graceful degradation — the solve continues bit-exactly,
+// losing only the device timing model).
 func (o *DevicePJDS) Apply(y, x []float64) error {
-	st, err := gpu.RunPJDS(o.Dev, o.P, y, x, o.Opt)
-	if err != nil {
-		return err
+	if !o.Degraded {
+		st, err := gpu.RunPJDS(o.Dev, o.P, y, x, o.Opt)
+		var ecc *gpu.ECCError
+		if errors.As(err, &ecc) {
+			o.Degraded = true
+			o.DegradedAt = o.Applies
+		} else if err != nil {
+			return err
+		} else {
+			o.Applies++
+			o.SimSeconds += st.KernelSeconds
+			o.Last = st
+			return nil
+		}
 	}
 	o.Applies++
-	o.SimSeconds += st.KernelSeconds
-	o.Last = st
-	return nil
+	return o.PermutedPJDS.Apply(y, x)
 }

@@ -19,9 +19,17 @@
 # efficiency, and Eq. 1 kernel table to BENCH_PR3.json — the artifact
 # scripts/regress.sh compares across checkouts.
 #
+# pr4 mode: the fault-tolerance benchmark. Runs the recoverable
+# distributed CG under seed-42 fault plans — fault-free baseline, a 1%
+# message-drop wire, and a single mid-solve rank crash — and writes
+# solve times, recovery latencies, retry counts and correctness
+# verdicts to BENCH_PR4.json (schema pjds-chaos/v1), comparable across
+# checkouts with scripts/regress.sh.
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
 #        scripts/bench.sh pr3 [scale]
+#        scripts/bench.sh pr4 [seed]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -35,8 +43,22 @@ pr3)
     MODE=pr3
     shift
     ;;
+pr4)
+    MODE=pr4
+    shift
+    ;;
 esac
 SCALE="${1:-0.05}"
+
+if [ "$MODE" = pr4 ]; then
+    SEED="${1:-42}"
+    echo "== chaos fault-tolerance benchmark (seed $SEED) =="
+    go run ./cmd/chaos -seed "$SEED" -scenarios baseline,drop1pct,crash -skip-modes
+    go run ./cmd/chaos -seed "$SEED" -scenarios baseline,drop1pct,crash -skip-modes \
+        -json -o BENCH_PR4.json
+    echo "wrote BENCH_PR4.json (gate with scripts/regress.sh OLD NEW)"
+    exit 0
+fi
 
 if [ "$MODE" = pr3 ]; then
     echo "== perfreport causal analysis (scale $SCALE, P=8, all modes) =="

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Chaos-hardening sweep: run the fault-injection harness over every
+# fault scenario (message drops, mid-solve rank crash, uncorrectable
+# ECC event, all combined) and the three §III-A communication modes,
+# then verify that every recovered solve stays bit-identical to the
+# fault-free run and that the same seed reproduces the identical
+# report. Exits non-zero on any correctness loss.
+#
+# Usage: scripts/chaos.sh [seed] [extra cmd/chaos flags...]
+#   scripts/chaos.sh               # full sweep, seed 42
+#   scripts/chaos.sh 7             # different fault schedule
+#   scripts/chaos.sh 42 -json -o chaos.json
+set -eu
+cd "$(dirname "$0")/.."
+
+SEED="${1:-42}"
+[ $# -gt 0 ] && shift
+exec go run ./cmd/chaos -seed "$SEED" "$@"

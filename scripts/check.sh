@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repository health check: vet, build, the full test suite, and a race
 # run over the concurrency-heavy packages (virtual-time fabric, the
-# MPI-like layer, the distributed spMVM engine, telemetry, and the GPU
-# worker pool — the gpu tests exercise Workers>1 and concurrent
-# plan-cache lookups).
+# MPI-like layer, the distributed spMVM engine, fault plans, the
+# fault-tolerant solver, telemetry, and the GPU worker pool — the gpu
+# tests exercise Workers>1 and concurrent plan-cache lookups), plus a
+# seeded chaos smoke scenario.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,10 +19,17 @@ go test ./...
 
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/telemetry/... ./internal/simnet/... \
-    ./internal/mpi/... ./internal/distmv/...
+    ./internal/mpi/... ./internal/distmv/... \
+    ./internal/faults/... ./internal/distsolver/...
 
 echo "== go test -race (gpu worker pool, Workers>1) =="
 go test -race ./internal/gpu/...
+
+echo "== chaos smoke (1 dropped message + 1 rank crash, seed 42) =="
+# Injects one message drop and one mid-solve rank crash into the
+# recoverable distributed CG; the run must recover, stay bit-identical
+# to the fault-free solve, and reproduce under the same seed.
+go run ./cmd/chaos -smoke
 
 echo "== regression-gate self-diff (perfreport) =="
 # The simulator is deterministic, so two identical runs must produce
