@@ -4,10 +4,15 @@
 // Fig. 1 pJDS derivation on a worked example, and exports generated
 // matrices to MatrixMarket.
 //
+// MatrixMarket files are ingested through the chunked parallel reader
+// (no intermediate COO copy); -workers sets the conversion worker
+// count and -timings prints the per-phase conversion cost breakdown.
+//
 // Usage:
 //
 //	matinfo -demo                         # Fig. 1 worked example
 //	matinfo file.mtx                      # stats for a MatrixMarket file
+//	matinfo -workers 4 -timings file.mtx  # parallel ingest + phase timings
 //	matinfo -gen HMEp -scale 0.05         # stats for a generated matrix
 //	matinfo -gen sAMG -scale 0.01 -out m.mtx
 package main
@@ -19,9 +24,11 @@ import (
 	"os"
 
 	"pjds/internal/advisor"
+	"pjds/internal/convert"
 	"pjds/internal/experiments"
 	"pjds/internal/formats"
 	"pjds/internal/matrix"
+	"pjds/internal/par"
 	"pjds/internal/textplot"
 )
 
@@ -36,21 +43,33 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("matinfo", flag.ContinueOnError)
 	var (
-		demo  = fs.Bool("demo", false, "walk the Fig. 1 pJDS derivation on the worked example")
-		gen   = fs.String("gen", "", "generate a test matrix: DLR1, DLR2, HMEp, sAMG, UHBR")
-		scale = fs.Float64("scale", experiments.DefaultScale, "scale for -gen")
-		outMM = fs.String("out", "", "write the matrix to this MatrixMarket file")
+		demo    = fs.Bool("demo", false, "walk the Fig. 1 pJDS derivation on the worked example")
+		gen     = fs.String("gen", "", "generate a test matrix: DLR1, DLR2, HMEp, sAMG, UHBR")
+		scale   = fs.Float64("scale", experiments.DefaultScale, "scale for -gen")
+		outMM   = fs.String("out", "", "write the matrix to this MatrixMarket file")
+		workers = fs.Int("workers", 0, "conversion worker count (0 = all cores)")
+		timings = fs.Bool("timings", false, "print ingest and conversion phase timings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	par.SetDefault(*workers)
 
 	if *demo {
 		return experiments.Fig1Demo(out)
 	}
 
+	// One recorder spans ingest and all format constructions; -timings
+	// prints its merged phase table at the end.
+	rec := convert.NewRecorder(nil, nil, 0)
+	opt := matrix.ConvertOptions{Workers: *workers, Arena: matrix.NewArena()}
+	if *timings {
+		opt.Timer = rec
+	}
+
 	var m *matrix.CSR[float64]
 	var name string
+	var rs matrix.ReadStats
 	switch {
 	case *gen != "":
 		var err error
@@ -64,7 +83,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		m, err = matrix.ReadMatrixMarket[float64](f)
+		// Stream straight from the file into CSR: the chunked reader
+		// never materializes a COO copy of the whole file.
+		m, rs, err = matrix.ReadMatrixMarketOpt[float64](f, opt)
 		f.Close()
 		if err != nil {
 			return err
@@ -76,12 +97,12 @@ func run(args []string, out io.Writer) error {
 
 	st := matrix.ComputeStats(m)
 	fmt.Fprintf(out, "%s: %s\n\n", name, st)
-	if err := printFootprints(out, m); err != nil {
+	if err := printFootprints(out, m, opt); err != nil {
 		return err
 	}
-	rec := advisor.Recommend(st, nil, nil)
-	fmt.Fprintf(out, "\nadvice: offload %s (PCIe penalty ~%.0f%%), format %s\n", rec.Offload, rec.PCIePenaltyPct, rec.Format)
-	for _, r := range rec.Reasons {
+	rec2 := advisor.Recommend(st, nil, nil)
+	fmt.Fprintf(out, "\nadvice: offload %s (PCIe penalty ~%.0f%%), format %s\n", rec2.Offload, rec2.PCIePenaltyPct, rec2.Format)
+	for _, r := range rec2.Reasons {
 		fmt.Fprintf(out, "  - %s\n", r)
 	}
 
@@ -99,27 +120,43 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "\nwrote %s\n", *outMM)
 	}
+
+	if *timings {
+		fmt.Fprintf(out, "\nconversion phases (%d workers):\n", par.Resolve(*workers))
+		if rs.HeaderNnz > 0 || rs.Chunks > 0 {
+			fmt.Fprintf(out, "  ingest: %d header entries, %d stored, %d chunks\n",
+				rs.HeaderNnz, rs.Entries, rs.Chunks)
+		}
+		rows := [][]string{{"phase", "seconds", "calls"}}
+		for _, p := range rec.Phases() {
+			rows = append(rows, []string{p.Name, fmt.Sprintf("%.6f", p.Seconds), fmt.Sprint(p.Count)})
+		}
+		rows = append(rows, []string{"total", fmt.Sprintf("%.6f", rec.TotalSeconds()), ""})
+		if err := textplot.Table(out, rows); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // printFootprints renders the per-format storage comparison.
-func printFootprints(out io.Writer, m *matrix.CSR[float64]) error {
-	pj, err := formats.NewPJDS(m)
+func printFootprints(out io.Writer, m *matrix.CSR[float64], opt matrix.ConvertOptions) error {
+	pj, err := formats.NewPJDSWith(m, opt)
 	if err != nil {
 		return err
 	}
-	jds, err := formats.NewJDS(m)
+	jds, err := formats.NewJDSWith(m, opt)
 	if err != nil {
 		return err
 	}
-	sell, err := formats.NewSlicedELL(m, 32, m.NRows)
+	sell, err := formats.NewSlicedELLWith(m, 32, m.NRows, opt)
 	if err != nil {
 		return err
 	}
 	list := []formats.Format[float64]{
 		formats.NewCRS(m),
-		formats.NewELLPACK(m),
-		formats.NewELLPACKR(m),
+		formats.NewELLPACKWith(m, opt),
+		formats.NewELLPACKRWith(m, opt),
 		sell,
 		pj,
 		jds,

@@ -19,9 +19,16 @@
 //	    compare two JSON report/benchmark artifacts leaf by leaf under
 //	    tolerance bands; exit non-zero when any metric regressed
 //	    (scripts/regress.sh wraps this).
+//
+//	perfreport -convert [-matrix sAMG] [-scale 0.05] [-workers 4] [-ranks 4]
+//	    measure the ingest-and-convert pipeline (MatrixMarket parse,
+//	    CSR assembly, pJDS/ELLPACK-R construction, partitioning) at 1
+//	    worker and at -workers, and report the conversion cost in
+//	    seconds and in modeled spMVM-equivalents (§II-C amortization).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,9 +39,14 @@ import (
 	"strconv"
 	"strings"
 
+	"pjds/internal/convert"
+	"pjds/internal/core"
 	"pjds/internal/critpath"
 	"pjds/internal/distmv"
 	"pjds/internal/experiments"
+	"pjds/internal/formats"
+	"pjds/internal/gpu"
+	"pjds/internal/matrix"
 	"pjds/internal/telemetry"
 	"pjds/internal/trace"
 )
@@ -61,6 +73,8 @@ func run(args []string, out io.Writer) error {
 		modesArg  = fs.String("modes", "", "comma-separated mode slugs (default: all of vector,naive-overlap,task)")
 		traceIn   = fs.String("trace-in", "", "analyze this Chrome trace artifact instead of running a scenario")
 		metricsIn = fs.String("metrics-in", "", "JSON metrics snapshot accompanying -trace-in (optional)")
+		convMode  = fs.Bool("convert", false, "measure the ingest-and-convert pipeline instead of the spMVM")
+		workers   = fs.Int("workers", 4, "parallel worker count for -convert")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
 		outFile   = fs.String("o", "", "write the report to this file instead of stdout")
 	)
@@ -82,6 +96,15 @@ func run(args []string, out io.Writer) error {
 
 	if *traceIn != "" {
 		return analyzeArtifacts(w, *traceIn, *metricsIn, *jsonOut)
+	}
+	if *convMode {
+		if err := runConvertReport(w, *matrixArg, *scale, *ranks, *workers, *jsonOut); err != nil {
+			return err
+		}
+		if *outFile != "" {
+			fmt.Fprintf(out, "wrote %s\n", *outFile)
+		}
+		return nil
 	}
 
 	format := distmv.FormatELLPACKR
@@ -123,6 +146,138 @@ func run(args []string, out io.Writer) error {
 	}
 	if *outFile != "" {
 		fmt.Fprintf(out, "wrote %s\n", *outFile)
+	}
+	return nil
+}
+
+// convertPipeline runs the full ingest-and-convert pipeline (parse the
+// serialized MatrixMarket bytes, assemble CSR, build pJDS and
+// ELLPACK-R, partition and distribute over ranks) at the given worker
+// count and returns the phase recorder plus the built formats.
+func convertPipeline(doc []byte, ranks, workers int) (*convert.Recorder, *core.PJDS[float64], *formats.ELLPACKR[float64], error) {
+	rec := convert.NewRecorder(telemetry.NewRegistry(), nil, 0)
+	opt := matrix.ConvertOptions{Workers: workers, Arena: matrix.NewArena(), Timer: rec}
+	m, _, err := matrix.ReadMatrixMarketOpt[float64](bytes.NewReader(doc), opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pj, err := core.NewPJDS(m, core.Options{Convert: opt})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	er := formats.NewELLPACKRWith(m, opt)
+	pt, err := distmv.PartitionByNnz(m, ranks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := distmv.DistributeOpt(m, pt, opt); err != nil {
+		return nil, nil, nil, err
+	}
+	return rec, pj, er, nil
+}
+
+// runConvertReport measures the conversion pipeline at 1 worker and at
+// the requested worker count and reports the cost in seconds and in
+// modeled spMVM-equivalents (the paper's §II-C amortization currency).
+func runConvertReport(w io.Writer, matrixName string, scale float64, ranks, workers int, jsonOut bool) error {
+	m, err := experiments.Matrix(matrixName, scale)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := matrix.WriteMatrixMarket(&buf, m); err != nil {
+		return err
+	}
+	doc := buf.Bytes()
+
+	seq, _, _, err := convertPipeline(doc, ranks, 1)
+	if err != nil {
+		return err
+	}
+	par, pj, er, err := convertPipeline(doc, ranks, workers)
+	if err != nil {
+		return err
+	}
+
+	// Modeled kernel times on the paper's Fermi board express the
+	// conversion cost in spMVM invocations.
+	dev := gpu.TeslaC2070()
+	scratch := telemetry.NewRegistry()
+	xp := make([]float64, m.NCols)
+	for i := range xp {
+		xp[i] = 1
+	}
+	yp := make([]float64, m.NRows)
+	pjStats, err := gpu.RunPJDS(dev, pj, yp, xp, gpu.RunOptions{Metrics: scratch})
+	if err != nil {
+		return err
+	}
+	erStats, err := gpu.RunELLPACKR(dev, er, yp, xp, gpu.RunOptions{Metrics: scratch})
+	if err != nil {
+		return err
+	}
+	tPJDS := pjStats.KernelSeconds
+	tELLR := erStats.KernelSeconds
+	am := convert.Amortize(par.TotalSeconds(), tPJDS, tELLR-tPJDS)
+	seqTotal := seq.TotalSeconds()
+	parTotal := par.TotalSeconds()
+	speedup := 0.0
+	if parTotal > 0 {
+		speedup = seqTotal / parTotal
+	}
+
+	if jsonOut {
+		phaseMap := func(r *convert.Recorder) map[string]float64 {
+			out := map[string]float64{}
+			for _, p := range r.Phases() {
+				out[p.Name+"_seconds"] = p.Seconds
+			}
+			return out
+		}
+		doc := map[string]any{
+			"schema":  "pjds-convert/v1",
+			"matrix":  matrixName,
+			"scale":   scale,
+			"ranks":   ranks,
+			"workers": workers,
+			"phases_workers1_seconds":       phaseMap(seq),
+			"phases_parallel_seconds":       phaseMap(par),
+			"convert_seconds_workers1":      seqTotal,
+			"convert_seconds_parallel":      parTotal,
+			"parallel_speedup":              speedup,
+			"modeled_pjds_spmv_seconds":     tPJDS,
+			"modeled_ellpackr_spmv_seconds": tELLR,
+			"spmv_equivalents_parallel":     am.Equivalents,
+			"gain_per_spmv_seconds":         am.GainSeconds,
+		}
+		if tPJDS > 0 {
+			doc["spmv_equivalents_workers1"] = seqTotal / tPJDS
+		}
+		if !math.IsInf(am.BreakEvenSpMVMs, 0) {
+			doc["breakeven_spmvs"] = am.BreakEvenSpMVMs
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Fprintf(w, "ingest-and-convert pipeline: %s scale %g, %d ranks\n\n", matrixName, scale, ranks)
+	fmt.Fprintf(w, "%-18s %14s %14s\n", "phase", "1 worker [s]", fmt.Sprintf("%d workers [s]", workers))
+	parByName := map[string]float64{}
+	for _, p := range par.Phases() {
+		parByName[p.Name] = p.Seconds
+	}
+	for _, p := range seq.Phases() {
+		fmt.Fprintf(w, "%-18s %14.6f %14.6f\n", p.Name, p.Seconds, parByName[p.Name])
+	}
+	fmt.Fprintf(w, "%-18s %14.6f %14.6f\n", "total", seqTotal, parTotal)
+	fmt.Fprintf(w, "\nparallel speedup: %.2fx at %d workers\n", speedup, workers)
+	fmt.Fprintf(w, "modeled spMVM (TeslaC2070): pJDS %.3g s, ELLPACK-R %.3g s\n", tPJDS, tELLR)
+	fmt.Fprintf(w, "conversion cost: %.1f spMVM-equivalents (parallel)\n", am.Equivalents)
+	if math.IsInf(am.BreakEvenSpMVMs, 0) {
+		fmt.Fprintf(w, "break-even vs ELLPACK-R: never (pJDS not faster on this matrix)\n")
+	} else {
+		fmt.Fprintf(w, "break-even vs ELLPACK-R: %.0f spMVMs\n", am.BreakEvenSpMVMs)
 	}
 	return nil
 }

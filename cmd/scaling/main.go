@@ -35,6 +35,7 @@ import (
 	"pjds/internal/experiments"
 	"pjds/internal/gpu"
 	"pjds/internal/mpi"
+	"pjds/internal/par"
 	"pjds/internal/simnet"
 	"pjds/internal/telemetry"
 	"pjds/internal/trace"
@@ -68,12 +69,13 @@ func run(args []string, out io.Writer) error {
 		perfReport = fs.Bool("perfreport", false, "append a one-line critical-path/overlap summary to each Fig. 5 point (cmd/perfreport gives the full report)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
-		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel and format conversion (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	gpu.SetDefaultWorkers(*workers)
+	par.SetDefault(*workers)
 	if *traceOut == "" {
 		*traceOut = *traceAlias
 	}

@@ -28,6 +28,7 @@ import (
 
 	"pjds/internal/experiments"
 	"pjds/internal/gpu"
+	"pjds/internal/par"
 	"pjds/internal/telemetry"
 )
 
@@ -51,7 +52,7 @@ func run(args []string, out io.Writer) error {
 		jsonOut    = fs.String("json", "", "write the Table I measurements as machine-readable JSON to this file (implies -table1)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
-		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel and format conversion (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file after the run")
 	)
@@ -59,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	gpu.SetDefaultWorkers(*workers)
+	par.SetDefault(*workers)
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {

@@ -1,0 +1,159 @@
+// Package convert is the conversion-cost accounting layer of the
+// ingest-and-convert pipeline. The paper (§II-C) weighs a format's
+// conversion time in units of spMVM kernel invocations: a format pays
+// off once its per-iteration gain has amortized the one-time
+// conversion cost. This package measures the conversion phases
+// (matrix.PhaseTimer implementation backed by wall-clock time), feeds
+// them into the telemetry registry and span log on a dedicated
+// "convert" lane, and computes the amortization quantities the
+// perfreport CLI prints.
+package convert
+
+import (
+	"math"
+	"time"
+
+	"pjds/internal/telemetry"
+)
+
+// PhaseSeconds is one named conversion phase with its accumulated
+// wall-clock duration.
+type PhaseSeconds struct {
+	Name    string
+	Seconds float64
+	Count   int
+}
+
+// Recorder implements matrix.PhaseTimer with wall-clock timing. Every
+// phase is mirrored three ways: an internal list (Phases, for direct
+// reporting), counters convert_phase_seconds_total /
+// convert_phases_total{phase=...} in a telemetry Registry, and a Span
+// on the "convert" lane of a SpanLog (span times are offsets from the
+// recorder's creation, so conversion traces align at zero like the
+// simulator's virtual clocks).
+//
+// A Recorder is not safe for concurrent Phase calls; the conversion
+// pipeline opens phases only from the coordinating goroutine.
+type Recorder struct {
+	reg   *telemetry.Registry
+	spans *telemetry.SpanLog
+	proc  int
+	now   func() time.Time // injectable for tests
+	t0    time.Time
+
+	names []string
+	byN   map[string]*PhaseSeconds
+}
+
+// NewRecorder returns a Recorder reporting into reg (nil selects the
+// process-default registry) and, when spans is non-nil, logging one
+// span per phase under the given proc id.
+func NewRecorder(reg *telemetry.Registry, spans *telemetry.SpanLog, proc int) *Recorder {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	r := &Recorder{
+		reg:   reg,
+		spans: spans,
+		proc:  proc,
+		now:   time.Now,
+		byN:   map[string]*PhaseSeconds{},
+	}
+	r.t0 = r.now()
+	r.reg.Help("convert_phase_seconds_total", "Wall-clock seconds spent in each conversion phase.")
+	r.reg.Help("convert_phases_total", "Number of times each conversion phase ran.")
+	return r
+}
+
+// SetClock replaces the wall clock (tests only). It also rebases t0.
+func (r *Recorder) SetClock(now func() time.Time) {
+	r.now = now
+	r.t0 = now()
+}
+
+// Phase implements matrix.PhaseTimer.
+func (r *Recorder) Phase(name string) func() {
+	start := r.now()
+	return func() {
+		end := r.now()
+		sec := end.Sub(start).Seconds()
+		p := r.byN[name]
+		if p == nil {
+			p = &PhaseSeconds{Name: name}
+			r.byN[name] = p
+			r.names = append(r.names, name)
+		}
+		p.Seconds += sec
+		p.Count++
+		r.reg.Counter("convert_phase_seconds_total", telemetry.L("phase", name)).Add(sec)
+		r.reg.Counter("convert_phases_total", telemetry.L("phase", name)).Inc()
+		if r.spans != nil {
+			r.spans.Add(telemetry.Span{
+				Proc:  r.proc,
+				Lane:  "convert",
+				Cat:   "convert",
+				Name:  name,
+				Start: start.Sub(r.t0).Seconds(),
+				End:   end.Sub(r.t0).Seconds(),
+			})
+		}
+	}
+}
+
+// Phases returns the recorded phases, merged by name in first-seen
+// order.
+func (r *Recorder) Phases() []PhaseSeconds {
+	out := make([]PhaseSeconds, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, *r.byN[n])
+	}
+	return out
+}
+
+// TotalSeconds returns the summed duration of all phases.
+func (r *Recorder) TotalSeconds() float64 {
+	var s float64
+	for _, n := range r.names {
+		s += r.byN[n].Seconds
+	}
+	return s
+}
+
+// Amortization expresses a conversion cost in the paper's §II-C
+// currency: how many spMVM kernel invocations the conversion is worth,
+// and after how many spMVMs a faster format has paid for itself.
+type Amortization struct {
+	// ConvertSeconds is the one-time conversion cost.
+	ConvertSeconds float64
+	// SpMVSeconds is the modeled time of one spMVM in the target format.
+	SpMVSeconds float64
+	// Equivalents = ConvertSeconds / SpMVSeconds: the conversion cost
+	// expressed in spMVM invocations.
+	Equivalents float64
+	// GainSeconds is the per-spMVM time saved over the baseline format.
+	GainSeconds float64
+	// BreakEvenSpMVMs = ConvertSeconds / GainSeconds: the iteration
+	// count beyond which converting was worth it. +Inf when the target
+	// format is no faster than the baseline.
+	BreakEvenSpMVMs float64
+}
+
+// Amortize computes the amortization quantities. spmvSeconds ≤ 0
+// yields zero Equivalents; gainSeconds ≤ 0 yields an infinite
+// break-even (converting never pays off).
+func Amortize(convertSeconds, spmvSeconds, gainSeconds float64) Amortization {
+	a := Amortization{
+		ConvertSeconds: convertSeconds,
+		SpMVSeconds:    spmvSeconds,
+		GainSeconds:    gainSeconds,
+	}
+	if spmvSeconds > 0 {
+		a.Equivalents = convertSeconds / spmvSeconds
+	}
+	if gainSeconds > 0 {
+		a.BreakEvenSpMVMs = convertSeconds / gainSeconds
+	} else {
+		a.BreakEvenSpMVMs = math.Inf(1)
+	}
+	return a
+}

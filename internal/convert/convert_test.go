@@ -1,0 +1,110 @@
+package convert
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pjds/internal/telemetry"
+)
+
+// fakeClock advances a fixed step on every reading, making phase
+// durations deterministic.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newTestRecorder(step time.Duration, spans *telemetry.SpanLog) (*Recorder, *telemetry.Registry) {
+	reg := telemetry.NewRegistry()
+	r := NewRecorder(reg, spans, 3)
+	c := &fakeClock{t: time.Unix(1000, 0), step: step}
+	r.SetClock(c.now)
+	return r, reg
+}
+
+func TestRecorderPhases(t *testing.T) {
+	spans := telemetry.NewSpanLog()
+	r, reg := newTestRecorder(time.Second, spans)
+
+	r.Phase("a")() // 1s
+	r.Phase("b")() // 1s
+	r.Phase("a")() // merged into a: 2s total, count 2
+
+	ps := r.Phases()
+	if len(ps) != 2 || ps[0].Name != "a" || ps[1].Name != "b" {
+		t.Fatalf("phases not merged in first-seen order: %+v", ps)
+	}
+	if ps[0].Seconds != 2 || ps[0].Count != 2 || ps[1].Seconds != 1 || ps[1].Count != 1 {
+		t.Fatalf("accumulation wrong: %+v", ps)
+	}
+	if got := r.TotalSeconds(); got != 3 {
+		t.Fatalf("TotalSeconds = %v, want 3", got)
+	}
+
+	// Counters mirror the phase list.
+	if v := reg.Counter("convert_phase_seconds_total", telemetry.L("phase", "a")).Value(); v != 2 {
+		t.Fatalf("seconds counter a = %v, want 2", v)
+	}
+	if v := reg.Counter("convert_phases_total", telemetry.L("phase", "b")).Value(); v != 1 {
+		t.Fatalf("count counter b = %v, want 1", v)
+	}
+
+	// One span per Phase call on the convert lane, offset from t0.
+	ss := spans.Spans()
+	if len(ss) != 3 {
+		t.Fatalf("got %d spans, want 3", len(ss))
+	}
+	for _, s := range ss {
+		if s.Lane != "convert" || s.Cat != "convert" || s.Proc != 3 {
+			t.Fatalf("span metadata wrong: %+v", s)
+		}
+		if s.End-s.Start != 1 {
+			t.Fatalf("span duration %v, want 1s: %+v", s.End-s.Start, s)
+		}
+	}
+	if ss[0].Name != "a" || ss[0].Start != 1 {
+		t.Fatalf("first span not offset from t0: %+v", ss[0])
+	}
+}
+
+func TestRecorderNilRegistryAndSpans(t *testing.T) {
+	// nil registry selects the process default; nil spans disables
+	// span logging — neither may panic.
+	r := NewRecorder(nil, nil, 0)
+	r.Phase("x")()
+	if len(r.Phases()) != 1 {
+		t.Fatal("phase not recorded")
+	}
+}
+
+func TestAmortize(t *testing.T) {
+	a := Amortize(10, 0.5, 0.1)
+	if a.Equivalents != 20 {
+		t.Fatalf("Equivalents = %v, want 20", a.Equivalents)
+	}
+	if a.BreakEvenSpMVMs != 100 {
+		t.Fatalf("BreakEvenSpMVMs = %v, want 100", a.BreakEvenSpMVMs)
+	}
+
+	// A format that is no faster than the baseline never pays off.
+	never := Amortize(10, 0.5, 0)
+	if !math.IsInf(never.BreakEvenSpMVMs, 1) {
+		t.Fatalf("gain=0 break-even = %v, want +Inf", never.BreakEvenSpMVMs)
+	}
+	slower := Amortize(10, 0.5, -0.2)
+	if !math.IsInf(slower.BreakEvenSpMVMs, 1) {
+		t.Fatalf("negative gain break-even = %v, want +Inf", slower.BreakEvenSpMVMs)
+	}
+
+	// Degenerate spMVM time yields zero equivalents, not NaN/Inf.
+	z := Amortize(10, 0, 0.1)
+	if z.Equivalents != 0 {
+		t.Fatalf("spmv=0 Equivalents = %v, want 0", z.Equivalents)
+	}
+}

@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"pjds/internal/matrix"
+)
 
 func benchSetup(b *testing.B) (*PJDS[float64], []float64, []float64) {
 	b.Helper()
@@ -26,6 +31,34 @@ func BenchmarkNewPJDS(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkNewPJDSWorkers measures the parallel build (histogram sort
+// + block padding + column fill) across worker counts, plus the
+// arena-backed sweep variant.
+func BenchmarkNewPJDSWorkers(b *testing.B) {
+	m := randomCSR(3000, 3000, 0.01, 1)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := Options{Convert: matrix.ConvertOptions{Workers: w, ForceParallel: true}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewPJDS(m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("workers=4/arena", func(b *testing.B) {
+		arena := matrix.NewArena()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arena.Reset()
+			if _, err := NewPJDS(m, Options{Convert: matrix.ConvertOptions{Workers: 4, Arena: arena, ForceParallel: true}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPJDSMulVecPermuted is the hot loop of Listing 2 on the

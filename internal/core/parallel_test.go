@@ -1,0 +1,55 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"pjds/internal/matrix"
+)
+
+// TestNewPJDSWorkerDeterminism is the tentpole guarantee for the
+// format build: the parallel pad/fill must produce a structure that is
+// reflect.DeepEqual (so bit-identical) to the sequential one for every
+// worker count, for both pJDS (br=32) and plain JDS (br=1).
+func TestNewPJDSWorkerDeterminism(t *testing.T) {
+	m := randomCSR(500, 300, 0.03, 77)
+	for _, br := range []int{1, 32} {
+		base, err := NewPJDS(m, Options{BlockHeight: br, Convert: matrix.ConvertOptions{Workers: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 1; w <= 8; w++ {
+			got, err := NewPJDS(m, Options{BlockHeight: br, Convert: matrix.ConvertOptions{Workers: w, ForceParallel: true}})
+			if err != nil {
+				t.Fatalf("br=%d workers=%d: %v", br, w, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("br=%d workers=%d: pJDS differs from sequential build", br, w)
+			}
+		}
+	}
+}
+
+// TestNewPJDSArenaReuse runs a block-height sweep through a shared
+// arena the way the ablation harness does: every iteration must still
+// match a fresh sequential build.
+func TestNewPJDSArenaReuse(t *testing.T) {
+	m := randomCSR(300, 200, 0.04, 5)
+	arena := matrix.NewArena()
+	for iter := 0; iter < 3; iter++ {
+		for _, br := range []int{1, 4, 32} {
+			arena.Reset()
+			want, err := NewPJDS(m, Options{BlockHeight: br})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewPJDS(m, Options{BlockHeight: br, Convert: matrix.ConvertOptions{Workers: 3, Arena: arena, ForceParallel: true}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("iter=%d br=%d: arena-built pJDS differs", iter, br)
+			}
+		}
+	}
+}

@@ -44,6 +44,11 @@ type Options struct {
 	// size; 0 selects DefaultBlockHeight. BlockHeight 1 degenerates to
 	// the classic (unpadded) JDS format.
 	BlockHeight int
+	// Convert carries the parallel-construction knobs (worker count,
+	// scratch arena, phase timer). The zero value is sequential-default
+	// and uninstrumented; every worker count builds a bit-identical
+	// PJDS.
+	Convert matrix.ConvertOptions
 }
 
 // PJDS is a padded-jagged-diagonals-storage matrix. All slices are
@@ -90,7 +95,8 @@ func NewPJDS[T matrix.Float](m *matrix.CSR[T], opt Options) (*PJDS[T], error) {
 		return nil, fmt.Errorf("core: block height %d < 1", br)
 	}
 
-	perm := matrix.SortRowsByLengthDesc(m)
+	cv := opt.Convert
+	perm := matrix.SortRowsByLengthDescOpt(m, cv)
 	n := m.NRows
 	npad := ((n + br - 1) / br) * br
 
@@ -104,22 +110,30 @@ func NewPJDS[T matrix.Float](m *matrix.CSR[T], opt Options) (*PJDS[T], error) {
 		Perm:        perm,
 	}
 
+	donePad := cv.Phase("pjds-pad")
 	// Padded length of every (sorted) row: the longest true length in
 	// its block. Because rows are sorted descending, that is the
-	// length of the first row of the block.
-	padLen := make([]int32, npad)
-	for i := 0; i < n; i++ {
-		p.RowLen[i] = int32(m.RowLen(perm[i]))
-	}
-	for b := 0; b < npad; b += br {
-		blockLen := int32(0)
-		if b < n {
-			blockLen = p.RowLen[b]
+	// length of the first row of the block. Both loops write disjoint
+	// index blocks, so the parallel result is identical to sequential.
+	padLen := cv.Arena.Int32(npad)
+	cv.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.RowLen[i] = int32(m.RowLen(perm[i]))
 		}
-		for i := b; i < b+br; i++ {
-			padLen[i] = blockLen
+	})
+	nBlocks := npad / br
+	cv.Run(nBlocks, func(w, lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			b := bi * br
+			blockLen := int32(0)
+			if b < n {
+				blockLen = p.RowLen[b]
+			}
+			for i := b; i < b+br; i++ {
+				padLen[i] = blockLen
+			}
 		}
-	}
+	})
 	if n > 0 {
 		p.MaxRowLen = int(padLen[0])
 	}
@@ -130,8 +144,8 @@ func NewPJDS[T matrix.Float](m *matrix.CSR[T], opt Options) (*PJDS[T], error) {
 	p.ColStart = make([]int32, p.MaxRowLen+1)
 	// height(j) is computed from the padded-length histogram: it
 	// decreases as j passes each block's padded length.
-	heights := make([]int32, p.MaxRowLen)
-	histo := make([]int32, p.MaxRowLen+1)
+	heights := cv.Arena.Int32(p.MaxRowLen)
+	histo := cv.Arena.Int32(p.MaxRowLen + 1)
 	for _, l := range padLen {
 		histo[l]++
 	}
@@ -146,35 +160,42 @@ func NewPJDS[T matrix.Float](m *matrix.CSR[T], opt Options) (*PJDS[T], error) {
 		total += heights[j]
 	}
 	p.ColStart[p.MaxRowLen] = total
+	donePad()
 
+	doneFill := cv.Phase("pjds-fill")
 	p.Val = make([]T, total)
 	p.ColIdx = make([]int32, total)
 
 	// Fill: walk every sorted row, write its entries into its slots of
 	// each column; pad the remainder of the padded length with zeros
-	// whose column index is a safe in-range gather target.
-	for i := 0; i < npad; i++ {
-		var cols []int32
-		var vals []T
-		if i < n {
-			cols, vals = m.Row(perm[i])
-		}
-		safe := int32(0)
-		if len(cols) > 0 {
-			safe = cols[0]
-		}
-		pl := int(padLen[i])
-		for j := 0; j < pl; j++ {
-			at := int(p.ColStart[j]) + i
-			if j < len(cols) {
-				p.Val[at] = vals[j]
-				p.ColIdx[at] = cols[j]
-			} else {
-				p.Val[at] = 0
-				p.ColIdx[at] = safe
+	// whose column index is a safe in-range gather target. Row i only
+	// writes slots ColStart[j]+i, so rows are independent and the loop
+	// parallelizes without changing a single byte of the output.
+	cv.Run(npad, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var cols []int32
+			var vals []T
+			if i < n {
+				cols, vals = m.Row(perm[i])
+			}
+			safe := int32(0)
+			if len(cols) > 0 {
+				safe = cols[0]
+			}
+			pl := int(padLen[i])
+			for j := 0; j < pl; j++ {
+				at := int(p.ColStart[j]) + i
+				if j < len(cols) {
+					p.Val[at] = vals[j]
+					p.ColIdx[at] = cols[j]
+				} else {
+					p.Val[at] = 0
+					p.ColIdx[at] = safe
+				}
 			}
 		}
-	}
+	})
+	doneFill()
 	return p, nil
 }
 

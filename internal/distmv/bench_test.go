@@ -1,9 +1,11 @@
 package distmv
 
 import (
+	"fmt"
 	"testing"
 
 	"pjds/internal/matgen"
+	"pjds/internal/matrix"
 )
 
 // BenchmarkRunSpMVMByMode measures the full simulated multi-GPU
@@ -34,5 +36,26 @@ func BenchmarkDistribute(b *testing.B) {
 		if _, err := Distribute(m, pt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPartition measures the parallel per-rank decomposition
+// (local format build + halo setup) across worker counts.
+func BenchmarkPartition(b *testing.B) {
+	m := matgen.Banded(8000, 8, 24, 400, 1)
+	pt, err := PartitionByNnz(m, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := matrix.ConvertOptions{Workers: w, ForceParallel: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := DistributeOpt(m, pt, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

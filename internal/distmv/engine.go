@@ -33,7 +33,7 @@ func RunSpMVM(a *matrix.CSR[float64], x []float64, p int, mode Mode, cfg Config)
 	if pt.Ranks() != p {
 		return nil, fmt.Errorf("distmv: partitioner produced %d blocks for %d ranks", pt.Ranks(), p)
 	}
-	problems, err := Distribute(a, pt)
+	problems, err := DistributeOpt(a, pt, matrix.ConvertOptions{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,37 @@
+package distmv
+
+import (
+	"reflect"
+	"testing"
+
+	"pjds/internal/matrix"
+)
+
+// TestDistributeOptWorkerDeterminism: the parallel per-rank build and
+// halo exchange setup must reproduce the sequential decomposition
+// exactly — same local formats, same halo maps, same schedules.
+func TestDistributeOptWorkerDeterminism(t *testing.T) {
+	m := testMatrix(t)
+	pt, err := PartitionByNnz(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := DistributeOpt(m, pt, matrix.ConvertOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, err := DistributeOpt(m, pt, matrix.ConvertOptions{Workers: w, ForceParallel: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d ranks, want %d", w, len(got), len(base))
+		}
+		for r := range base {
+			if !reflect.DeepEqual(base[r], got[r]) {
+				t.Fatalf("workers=%d: rank %d problem differs from sequential build", w, r)
+			}
+		}
+	}
+}

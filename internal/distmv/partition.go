@@ -237,13 +237,59 @@ func (rp *RankProblem) Neighbors() int {
 // given partition. This is the setup phase that real codes run once
 // before the iteration loop; the paper's measurements exclude it.
 func Distribute(m *matrix.CSR[float64], pt Partition) ([]*RankProblem, error) {
+	return DistributeOpt(m, pt, matrix.ConvertOptions{})
+}
+
+// DistributeOpt is Distribute with explicit conversion options. Rank
+// problems are independent, so their construction (column scan, halo
+// discovery, local/non-local split) parallelizes over ranks; the send
+// lists then parallelize over the *owning* rank, each worker writing
+// only its owners' SendIdx maps. The result is identical to the
+// sequential build for every worker count.
+func DistributeOpt(m *matrix.CSR[float64], pt Partition, opt matrix.ConvertOptions) ([]*RankProblem, error) {
 	if m.NRows != m.NCols {
 		return nil, fmt.Errorf("distmv: matrix %dx%d not square", m.NRows, m.NCols)
 	}
 	p := pt.Ranks()
 	problems := make([]*RankProblem, p)
 
-	for r := 0; r < p; r++ {
+	done := opt.Phase("partition-build")
+	opt.Run(p, func(w, rLo, rHi int) {
+		for r := rLo; r < rHi; r++ {
+			problems[r] = buildRankProblem(m, pt, r)
+		}
+	})
+	done()
+
+	// Derive the send lists from the receive lists, parallel over the
+	// owner: worker blocks over o write disjoint SendIdx maps.
+	done = opt.Phase("partition-halo")
+	opt.Run(p, func(w, oLo, oHi int) {
+		for o := oLo; o < oHi; o++ {
+			owner := problems[o]
+			for _, rp := range problems {
+				cnt := rp.RecvCount[o]
+				if cnt == 0 {
+					continue
+				}
+				off := rp.HaloOffset[o]
+				idx := make([]int32, cnt)
+				for k := 0; k < cnt; k++ {
+					idx[k] = rp.HaloCols[off+k] - int32(owner.RowLo)
+				}
+				owner.SendIdx[rp.Rank] = idx
+			}
+		}
+	})
+	done()
+	return problems, nil
+}
+
+// buildRankProblem assembles rank r's problem (everything except the
+// send lists, which need all ranks' halos).
+func buildRankProblem(m *matrix.CSR[float64], pt Partition, r int) *RankProblem {
+	p := pt.Ranks()
+	{
 		lo, hi := pt.Range(r)
 		rp := &RankProblem{
 			Rank: r, P: p, RowLo: lo, RowHi: hi, GlobalN: m.NRows,
@@ -310,23 +356,8 @@ func Distribute(m *matrix.CSR[float64], pt Partition) ([]*RankProblem, error) {
 		}
 		rp.Local = local
 		rp.NonLocal = nonlocal
-		problems[r] = rp
+		return rp
 	}
-
-	// Third pass: derive the send lists from the receive lists.
-	for _, rp := range problems {
-		for o := range rp.RecvCount {
-			owner := problems[o]
-			off := rp.HaloOffset[o]
-			cnt := rp.RecvCount[o]
-			idx := make([]int32, cnt)
-			for k := 0; k < cnt; k++ {
-				idx[k] = rp.HaloCols[off+k] - int32(owner.RowLo)
-			}
-			owner.SendIdx[rp.Rank] = idx
-		}
-	}
-	return problems, nil
 }
 
 // MergedSlice rebuilds the rank's full row slice with the extended

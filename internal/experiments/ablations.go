@@ -71,8 +71,12 @@ func AblationSortWindow(name string, scale float64, w io.Writer) ([]AblationPoin
 	x := testVector(m.NCols)
 	dev := gpu.TeslaC2070()
 	var out []AblationPoint
+	// One arena serves every σ: the scratch buffers (row lengths,
+	// window-sort counters) have identical shapes across iterations.
+	arena := matrix.NewArena()
 	for _, sigma := range []int{1, 128, 1024, 8192, m.NRows} {
-		s, err := formats.NewSlicedELL(m, 32, sigma)
+		arena.Reset()
+		s, err := formats.NewSlicedELLWith(m, 32, sigma, matrix.ConvertOptions{Arena: arena})
 		if err != nil {
 			return nil, err
 		}
@@ -105,8 +109,10 @@ func AblationBlockHeight(name string, scale float64, w io.Writer) ([]AblationPoi
 	x := testVector(m.NCols)
 	dev := gpu.TeslaC2070()
 	var out []AblationPoint
+	arena := matrix.NewArena()
 	for _, br := range []int{1, 4, 16, 32, 64, 256} {
-		p, err := core.NewPJDS(m, core.Options{BlockHeight: br})
+		arena.Reset()
+		p, err := core.NewPJDS(m, core.Options{BlockHeight: br, Convert: matrix.ConvertOptions{Arena: arena}})
 		if err != nil {
 			return nil, err
 		}
@@ -271,8 +277,10 @@ func AblationELLRT(name string, scale float64, w io.Writer) ([]AblationPoint, er
 	dev := gpu.TeslaC2070()
 	x := testVector(m.NCols)
 	var out []AblationPoint
+	arena := matrix.NewArena()
 	for _, threads := range []int{1, 2, 4, 8} {
-		e, err := formats.NewELLRT(m, threads)
+		arena.Reset()
+		e, err := formats.NewELLRTWith(m, threads, matrix.ConvertOptions{Arena: arena})
 		if err != nil {
 			return nil, err
 		}

@@ -50,6 +50,15 @@ type BELLPACK[T matrix.Float] struct {
 // NewBELLPACK tiles m into br×bc blocks and builds the blocked
 // ELLPACK structure.
 func NewBELLPACK[T matrix.Float](m *matrix.CSR[T], br, bc int) (*BELLPACK[T], error) {
+	return NewBELLPACKWith(m, br, bc, matrix.ConvertOptions{})
+}
+
+// NewBELLPACKWith is NewBELLPACK with explicit conversion options.
+// Both the block-structure discovery and the fill are parallel over
+// block rows: block row b only writes blockCols[b] respectively its
+// own Val/BlockCol slots, so worker blocks are disjoint and the result
+// is bit-identical for every worker count.
+func NewBELLPACKWith[T matrix.Float](m *matrix.CSR[T], br, bc int, opt matrix.ConvertOptions) (*BELLPACK[T], error) {
 	if br < 1 || bc < 1 {
 		return nil, fmt.Errorf("formats: BELLPACK block %dx%d", br, bc)
 	}
@@ -62,28 +71,40 @@ func NewBELLPACK[T matrix.Float](m *matrix.CSR[T], br, bc int) (*BELLPACK[T], er
 		blockRowsPad++
 	}
 
+	done := opt.Phase("bellpack-discover")
+	workers := opt.EffectiveWorkers()
 	// Discover the block structure per block row.
 	blockCols := make([][]int32, blockRows)
-	maxBlocks := 0
-	for b := 0; b < blockRows; b++ {
-		seen := map[int32]bool{}
-		for i := b * br; i < (b+1)*br && i < n; i++ {
-			cols, _ := m.Row(i)
-			for _, c := range cols {
-				seen[c/int32(bc)] = true
+	maxBlocksW := opt.Arena.Int(workers)
+	opt.Run(blockRows, func(w, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			seen := map[int32]bool{}
+			for i := b * br; i < (b+1)*br && i < n; i++ {
+				cols, _ := m.Row(i)
+				for _, c := range cols {
+					seen[c/int32(bc)] = true
+				}
+			}
+			list := make([]int32, 0, len(seen))
+			for c := range seen {
+				list = append(list, c)
+			}
+			sortInt32s(list)
+			blockCols[b] = list
+			if len(list) > maxBlocksW[w] {
+				maxBlocksW[w] = len(list)
 			}
 		}
-		list := make([]int32, 0, len(seen))
-		for c := range seen {
-			list = append(list, c)
-		}
-		sortInt32s(list)
-		blockCols[b] = list
-		if len(list) > maxBlocks {
-			maxBlocks = len(list)
+	})
+	maxBlocks := 0
+	for _, v := range maxBlocksW {
+		if v > maxBlocks {
+			maxBlocks = v
 		}
 	}
+	done()
 
+	done = opt.Phase("bellpack-fill")
 	e := &BELLPACK[T]{
 		N: n, NCols: m.NCols, NnzV: m.Nnz(),
 		BR: br, BC: bc,
@@ -93,25 +114,32 @@ func NewBELLPACK[T matrix.Float](m *matrix.CSR[T], br, bc int) (*BELLPACK[T], er
 		BlockCol:  make([]int32, blockRowsPad*maxBlocks),
 		BlockLen:  make([]int32, blockRowsPad),
 	}
-	var filled int64
-	for b := 0; b < blockRows; b++ {
-		e.BlockLen[b] = int32(len(blockCols[b]))
-		slotOf := make(map[int32]int, len(blockCols[b]))
-		for j, c := range blockCols[b] {
-			slotOf[c] = j
-			e.BlockCol[j*blockRowsPad+b] = c
-		}
-		for i := b * br; i < (b+1)*br && i < n; i++ {
-			cols, vals := m.Row(i)
-			for k, c := range cols {
-				j := slotOf[c/int32(bc)]
-				at := ((j*bc+int(c)%bc)*blockRowsPad+b)*br + (i - b*br)
-				e.Val[at] = vals[k]
-				filled++
+	filledW := make([]int64, workers)
+	opt.Run(blockRows, func(w, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			e.BlockLen[b] = int32(len(blockCols[b]))
+			slotOf := make(map[int32]int, len(blockCols[b]))
+			for j, c := range blockCols[b] {
+				slotOf[c] = j
+				e.BlockCol[j*blockRowsPad+b] = c
+			}
+			for i := b * br; i < (b+1)*br && i < n; i++ {
+				cols, vals := m.Row(i)
+				for k, c := range cols {
+					j := slotOf[c/int32(bc)]
+					at := ((j*bc+int(c)%bc)*blockRowsPad+b)*br + (i - b*br)
+					e.Val[at] = vals[k]
+					filledW[w]++
+				}
 			}
 		}
+	})
+	var filled int64
+	for _, v := range filledW {
+		filled += v
 	}
 	e.FillIn = blockStorage(e) - filled
+	done()
 	return e, nil
 }
 

@@ -36,6 +36,16 @@ type ELLPACK[T matrix.Float] struct {
 
 // NewELLPACK builds the ELLPACK representation of m.
 func NewELLPACK[T matrix.Float](m *matrix.CSR[T]) *ELLPACK[T] {
+	return NewELLPACKWith(m, matrix.ConvertOptions{})
+}
+
+// NewELLPACKWith is NewELLPACK with explicit conversion options. The
+// fill loop is parallel over rows — row i writes only slots j·NPad+i,
+// so worker blocks never overlap and the result is bit-identical for
+// every worker count.
+func NewELLPACKWith[T matrix.Float](m *matrix.CSR[T], opt matrix.ConvertOptions) *ELLPACK[T] {
+	done := opt.Phase("ellpack-fill")
+	defer done()
 	n := m.NRows
 	npad := ((n + WarpSize - 1) / WarpSize) * WarpSize
 	maxLen := m.MaxRowLen()
@@ -49,23 +59,25 @@ func NewELLPACK[T matrix.Float](m *matrix.CSR[T]) *ELLPACK[T] {
 		ColIdx:    make([]int32, npad*maxLen),
 		RowLen:    make([]int32, npad),
 	}
-	for i := 0; i < n; i++ {
-		cols, vals := m.Row(i)
-		e.RowLen[i] = int32(len(cols))
-		safe := int32(0)
-		if len(cols) > 0 {
-			safe = cols[0]
-		}
-		for j := 0; j < maxLen; j++ {
-			at := j*npad + i
-			if j < len(cols) {
-				e.Val[at] = vals[j]
-				e.ColIdx[at] = cols[j]
-			} else {
-				e.ColIdx[at] = safe
+	opt.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := m.Row(i)
+			e.RowLen[i] = int32(len(cols))
+			safe := int32(0)
+			if len(cols) > 0 {
+				safe = cols[0]
+			}
+			for j := 0; j < maxLen; j++ {
+				at := j*npad + i
+				if j < len(cols) {
+					e.Val[at] = vals[j]
+					e.ColIdx[at] = cols[j]
+				} else {
+					e.ColIdx[at] = safe
+				}
 			}
 		}
-	}
+	})
 	return e
 }
 
@@ -118,6 +130,11 @@ type ELLPACKR[T matrix.Float] struct {
 // NewELLPACKR builds the ELLPACK-R representation of m.
 func NewELLPACKR[T matrix.Float](m *matrix.CSR[T]) *ELLPACKR[T] {
 	return &ELLPACKR[T]{ELLPACK: *NewELLPACK(m)}
+}
+
+// NewELLPACKRWith is NewELLPACKR with explicit conversion options.
+func NewELLPACKRWith[T matrix.Float](m *matrix.CSR[T], opt matrix.ConvertOptions) *ELLPACKR[T] {
+	return &ELLPACKR[T]{ELLPACK: *NewELLPACKWith(m, opt)}
 }
 
 // Name implements Format.

@@ -40,9 +40,18 @@ type ELLRT[T matrix.Float] struct {
 // NewELLRT builds the ELLR-T representation with T threads per row.
 // T must divide the warp size.
 func NewELLRT[T matrix.Float](m *matrix.CSR[T], threads int) (*ELLRT[T], error) {
+	return NewELLRTWith(m, threads, matrix.ConvertOptions{})
+}
+
+// NewELLRTWith is NewELLRT with explicit conversion options: the fill
+// is parallel over rows (row i writes only its own group slots), so
+// the result is bit-identical for every worker count.
+func NewELLRTWith[T matrix.Float](m *matrix.CSR[T], threads int, opt matrix.ConvertOptions) (*ELLRT[T], error) {
 	if threads < 1 || WarpSize%threads != 0 {
 		return nil, fmt.Errorf("formats: ELLR-T with T=%d (must divide the warp size %d)", threads, WarpSize)
 	}
+	done := opt.Phase("ellrt-fill")
+	defer done()
 	n := m.NRows
 	npad := ((n + WarpSize - 1) / WarpSize) * WarpSize
 	maxLen := m.MaxRowLen()
@@ -59,23 +68,25 @@ func NewELLRT[T matrix.Float](m *matrix.CSR[T], threads int) (*ELLRT[T], error) 
 		ColIdx:        make([]int32, npad*padded),
 		RowLen:        make([]int32, npad),
 	}
-	for i := 0; i < n; i++ {
-		cols, vals := m.Row(i)
-		e.RowLen[i] = int32(len(cols))
-		safe := int32(0)
-		if len(cols) > 0 {
-			safe = cols[0]
-		}
-		for j := 0; j < padded; j++ {
-			at := e.index(i, j)
-			if j < len(cols) {
-				e.Val[at] = vals[j]
-				e.ColIdx[at] = cols[j]
-			} else {
-				e.ColIdx[at] = safe
+	opt.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := m.Row(i)
+			e.RowLen[i] = int32(len(cols))
+			safe := int32(0)
+			if len(cols) > 0 {
+				safe = cols[0]
+			}
+			for j := 0; j < padded; j++ {
+				at := e.index(i, j)
+				if j < len(cols) {
+					e.Val[at] = vals[j]
+					e.ColIdx[at] = cols[j]
+				} else {
+					e.ColIdx[at] = safe
+				}
 			}
 		}
-	}
+	})
 	return e, nil
 }
 

@@ -13,9 +13,19 @@ func NewJDS[T matrix.Float](m *matrix.CSR[T]) (*core.PJDS[T], error) {
 	return core.NewPJDS(m, core.Options{BlockHeight: 1})
 }
 
+// NewJDSWith is NewJDS with explicit conversion options.
+func NewJDSWith[T matrix.Float](m *matrix.CSR[T], opt matrix.ConvertOptions) (*core.PJDS[T], error) {
+	return core.NewPJDS(m, core.Options{BlockHeight: 1, Convert: opt})
+}
+
 // NewPJDS builds the paper's pJDS format with the default block
 // height (the warp size); re-exported here so format shoot-outs can
 // construct every format through one package.
 func NewPJDS[T matrix.Float](m *matrix.CSR[T]) (*core.PJDS[T], error) {
 	return core.NewPJDS(m, core.Options{BlockHeight: core.DefaultBlockHeight})
+}
+
+// NewPJDSWith is NewPJDS with explicit conversion options.
+func NewPJDSWith[T matrix.Float](m *matrix.CSR[T], opt matrix.ConvertOptions) (*core.PJDS[T], error) {
+	return core.NewPJDS(m, core.Options{BlockHeight: core.DefaultBlockHeight, Convert: opt})
 }

@@ -50,6 +50,15 @@ type SlicedELL[T matrix.Float] struct {
 // sort). c must be ≥ 1; sigma is clamped to [1, N] and rounded up to a
 // multiple of c so slices never straddle windows.
 func NewSlicedELL[T matrix.Float](m *matrix.CSR[T], c, sigma int) (*SlicedELL[T], error) {
+	return NewSlicedELLWith(m, c, sigma, matrix.ConvertOptions{})
+}
+
+// NewSlicedELLWith is NewSlicedELL with explicit conversion options.
+// The windowed sort runs in-place on a shared row-length array with
+// one stable counting sort per window (no more per-window RowSlice
+// copies), windows parallelized across workers; the slice fill is
+// parallel over rows. Every worker count builds the identical matrix.
+func NewSlicedELLWith[T matrix.Float](m *matrix.CSR[T], c, sigma int, opt matrix.ConvertOptions) (*SlicedELL[T], error) {
 	if c < 1 {
 		return nil, fmt.Errorf("formats: slice height %d < 1", c)
 	}
@@ -64,23 +73,56 @@ func NewSlicedELL[T matrix.Float](m *matrix.CSR[T], c, sigma int) (*SlicedELL[T]
 		sigma = n
 	}
 
-	// Windowed sort: sort rows by descending length within each window
-	// of sigma rows.
-	perm := matrix.Identity(n)
-	if sigma > 1 {
-		for lo := 0; lo < n; lo += sigma {
-			hi := lo + sigma
-			if hi > n {
-				hi = n
+	doneSort := opt.Phase("sliced-sort")
+	workers := opt.EffectiveWorkers()
+	// Row lengths and the global maximum, shared by the windowed sort
+	// and the slice layout below.
+	lens := opt.Arena.Int(n)
+	maxW := opt.Arena.Int(workers)
+	opt.Run(n, func(w, lo, hi int) {
+		max := 0
+		for i := lo; i < hi; i++ {
+			l := m.RowLen(i)
+			lens[i] = l
+			if l > max {
+				max = l
 			}
-			window := m.RowSlice(lo, hi)
-			wp := matrix.SortRowsByLengthDesc(window)
-			for i, old := range wp {
-				perm[lo+i] = lo + old
-			}
+		}
+		if max > maxW[w] {
+			maxW[w] = max
+		}
+	})
+	maxLen := 0
+	for _, v := range maxW {
+		if v > maxLen {
+			maxLen = v
 		}
 	}
 
+	// Windowed sort: sort rows by descending length within each window
+	// of sigma rows. Windows are independent, so they distribute over
+	// workers with one counting-sort scratch buffer each.
+	perm := matrix.Identity(n)
+	if sigma > 1 && n > 0 {
+		nWindows := (n + sigma - 1) / sigma
+		counts := make([][]int, workers)
+		for w := range counts {
+			counts[w] = opt.Arena.Int(maxLen + 2)
+		}
+		opt.Run(nWindows, func(w, lo, hi int) {
+			for win := lo; win < hi; win++ {
+				wlo := win * sigma
+				whi := wlo + sigma
+				if whi > n {
+					whi = n
+				}
+				matrix.SortRangeByLengthDesc(lens, wlo, whi, perm, counts[w])
+			}
+		})
+	}
+	doneSort()
+
+	doneFill := opt.Phase("sliced-fill")
 	npad := ((n + c - 1) / c) * c
 	s := &SlicedELL[T]{
 		N:          n,
@@ -89,15 +131,15 @@ func NewSlicedELL[T matrix.Float](m *matrix.CSR[T], c, sigma int) (*SlicedELL[T]
 		NnzV:       m.Nnz(),
 		C:          c,
 		SortWindow: sigma,
+		MaxRowLen:  maxLen,
 		RowLen:     make([]int32, npad),
 		Perm:       perm,
 	}
-	for i := 0; i < n; i++ {
-		s.RowLen[i] = int32(m.RowLen(perm[i]))
-		if int(s.RowLen[i]) > s.MaxRowLen {
-			s.MaxRowLen = int(s.RowLen[i])
+	opt.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.RowLen[i] = int32(lens[perm[i]])
 		}
-	}
+	})
 
 	nSlices := npad / c
 	s.SliceStart = make([]int64, nSlices+1)
@@ -118,24 +160,27 @@ func NewSlicedELL[T matrix.Float](m *matrix.CSR[T], c, sigma int) (*SlicedELL[T]
 
 	s.Val = make([]T, total)
 	s.ColIdx = make([]int32, total)
-	for i := 0; i < n; i++ {
-		cols, vals := m.Row(perm[i])
-		safe := int32(0)
-		if len(cols) > 0 {
-			safe = cols[0]
-		}
-		sl, lane := i/c, i%c
-		base := s.SliceStart[sl]
-		for j := 0; j < int(s.SliceLen[sl]); j++ {
-			at := base + int64(j*c+lane)
-			if j < len(cols) {
-				s.Val[at] = vals[j]
-				s.ColIdx[at] = cols[j]
-			} else {
-				s.ColIdx[at] = safe
+	opt.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := m.Row(perm[i])
+			safe := int32(0)
+			if len(cols) > 0 {
+				safe = cols[0]
+			}
+			sl, lane := i/c, i%c
+			base := s.SliceStart[sl]
+			for j := 0; j < int(s.SliceLen[sl]); j++ {
+				at := base + int64(j*c+lane)
+				if j < len(cols) {
+					s.Val[at] = vals[j]
+					s.ColIdx[at] = cols[j]
+				} else {
+					s.ColIdx[at] = safe
+				}
 			}
 		}
-	}
+	})
+	doneFill()
 	return s, nil
 }
 

@@ -1,6 +1,10 @@
 package matrix
 
-import "testing"
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
 
 func benchMatrix(b *testing.B) *CSR[float64] {
 	b.Helper()
@@ -24,7 +28,8 @@ func BenchmarkCSRMulVec(b *testing.B) {
 	}
 }
 
-func BenchmarkCOOToCSR(b *testing.B) {
+func benchCOO(b *testing.B) *COO[float64] {
+	b.Helper()
 	coo := NewCOO[float64](2000, 2000)
 	m := randomCSR(2000, 2000, 0.01, 2)
 	for i := 0; i < m.NRows; i++ {
@@ -33,9 +38,61 @@ func BenchmarkCOOToCSR(b *testing.B) {
 			coo.Add(i, int(c), vals[k])
 		}
 	}
+	return coo
+}
+
+func BenchmarkCOOToCSR(b *testing.B) {
+	coo := benchCOO(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = coo.ToCSR()
+	}
+}
+
+// BenchmarkCOOToCSRWorkers measures the counting-pass assembly across
+// worker counts, plus the arena-backed sweep variant that reuses
+// scratch between conversions.
+func BenchmarkCOOToCSRWorkers(b *testing.B) {
+	coo := benchCOO(b)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := ConvertOptions{Workers: w, ForceParallel: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = coo.ToCSROpt(opt)
+			}
+		})
+	}
+	b.Run("workers=4/arena", func(b *testing.B) {
+		arena := NewArena()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arena.Reset()
+			_ = coo.ToCSROpt(ConvertOptions{Workers: 4, Arena: arena, ForceParallel: true})
+		}
+	})
+}
+
+// BenchmarkReadMatrixMarket measures the chunked text ingest (parse +
+// CSR assembly) across worker counts on a pre-serialized matrix.
+func BenchmarkReadMatrixMarket(b *testing.B) {
+	m := randomCSR(2000, 2000, 0.01, 3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		b.Fatal(err)
+	}
+	doc := buf.Bytes()
+	b.SetBytes(int64(len(doc)))
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := ConvertOptions{Workers: w, ForceParallel: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ReadMatrixMarketOpt[float64](bytes.NewReader(doc), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -19,12 +19,27 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Fuzz(func(t *testing.T, in string) {
 		m, err := ReadMatrixMarket[float64](strings.NewReader(in))
 		if err != nil {
+			// The parallel parse must fail whenever the default parse
+			// fails (same acceptance, not just same matrices).
+			if _, _, perr := ReadMatrixMarketOpt[float64](strings.NewReader(in),
+				ConvertOptions{Workers: 3, ForceParallel: true}); perr == nil {
+				t.Fatalf("parallel parse accepted input the default parse rejects: %q", in)
+			}
 			return
 		}
 		// Parsed successfully: the result must be a structurally valid
 		// CSR and survive a write/read cycle unchanged.
 		if m.RowPtr[m.NRows] != m.Nnz() {
 			t.Fatalf("inconsistent CSR from %q", in)
+		}
+		// The explicitly-parallel parse must agree bit for bit.
+		pm, _, err := ReadMatrixMarketOpt[float64](strings.NewReader(in),
+			ConvertOptions{Workers: 3, ForceParallel: true})
+		if err != nil {
+			t.Fatalf("parallel parse rejected accepted input %q: %v", in, err)
+		}
+		if !m.Equal(pm, 0) {
+			t.Fatalf("parallel parse differs for %q", in)
 		}
 		var buf bytes.Buffer
 		if err := WriteMatrixMarket(&buf, m); err != nil {

@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // This file implements a reader and writer for the MatrixMarket
@@ -37,109 +35,10 @@ func WriteMatrixMarket[T Float](w io.Writer, m *CSR[T]) error {
 // ReadMatrixMarket parses a MatrixMarket coordinate file into CSR.
 // Supported qualifiers: real/integer/pattern × general/symmetric.
 // Pattern entries get value 1; symmetric files are expanded to full
-// storage (mirror entries added for off-diagonal elements).
+// storage (mirror entries added for off-diagonal elements). Parsing is
+// chunk-parallel (see ReadMatrixMarketOpt) with the process-default
+// worker count; the result is bit-identical for every worker count.
 func ReadMatrixMarket[T Float](r io.Reader) (*CSR[T], error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-
-	if !sc.Scan() {
-		return nil, fmt.Errorf("matrix: empty MatrixMarket stream")
-	}
-	header := strings.Fields(strings.ToLower(sc.Text()))
-	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
-		return nil, fmt.Errorf("matrix: unsupported MatrixMarket header %q", sc.Text())
-	}
-	field := header[3]
-	symmetry := "general"
-	if len(header) >= 5 {
-		symmetry = header[4]
-	}
-	switch field {
-	case "real", "integer", "pattern":
-	default:
-		return nil, fmt.Errorf("matrix: unsupported MatrixMarket field %q", field)
-	}
-	switch symmetry {
-	case "general", "symmetric":
-	default:
-		return nil, fmt.Errorf("matrix: unsupported MatrixMarket symmetry %q", symmetry)
-	}
-
-	// Skip comments, read the size line.
-	var rows, cols, nnz int
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
-			continue
-		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("matrix: bad MatrixMarket size line %q: %v", line, err)
-		}
-		break
-	}
-	if rows <= 0 || cols <= 0 || nnz < 0 {
-		return nil, fmt.Errorf("matrix: bad MatrixMarket dimensions %dx%d nnz=%d", rows, cols, nnz)
-	}
-	if symmetry == "symmetric" && rows != cols {
-		return nil, fmt.Errorf("matrix: symmetric MatrixMarket file must be square, got %dx%d", rows, cols)
-	}
-	// Refuse sizes whose index arrays alone would exceed ~2 GiB: no
-	// published sparse matrix comes close, and unguarded headers would
-	// let a malformed file drive allocation to OOM.
-	const maxDim = 1 << 28
-	if rows > maxDim || cols > maxDim || nnz > maxDim {
-		return nil, fmt.Errorf("matrix: MatrixMarket dimensions %dx%d nnz=%d exceed the %d limit", rows, cols, nnz, maxDim)
-	}
-
-	coo := NewCOO[T](rows, cols)
-	cap := nnz
-	if symmetry == "symmetric" {
-		cap = 2 * nnz
-	}
-	coo.Entries = make([]Entry[T], 0, cap)
-	read := 0
-	for read < nnz && sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
-			continue
-		}
-		f := strings.Fields(line)
-		want := 3
-		if field == "pattern" {
-			want = 2
-		}
-		if len(f) < want {
-			return nil, fmt.Errorf("matrix: short MatrixMarket entry %q", line)
-		}
-		i, err := strconv.Atoi(f[0])
-		if err != nil {
-			return nil, fmt.Errorf("matrix: bad row index %q: %v", f[0], err)
-		}
-		j, err := strconv.Atoi(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("matrix: bad column index %q: %v", f[1], err)
-		}
-		v := 1.0
-		if field != "pattern" {
-			v, err = strconv.ParseFloat(f[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("matrix: bad value %q: %v", f[2], err)
-			}
-		}
-		if i < 1 || i > rows || j < 1 || j > cols {
-			return nil, fmt.Errorf("matrix: entry (%d,%d) outside %dx%d", i, j, rows, cols)
-		}
-		coo.Add(i-1, j-1, T(v))
-		if symmetry == "symmetric" && i != j {
-			coo.Add(j-1, i-1, T(v))
-		}
-		read++
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if read < nnz {
-		return nil, fmt.Errorf("matrix: MatrixMarket stream truncated: %d of %d entries", read, nnz)
-	}
-	return coo.ToCSR(), nil
+	m, _, err := ReadMatrixMarketOpt[T](r, ConvertOptions{})
+	return m, err
 }

@@ -67,48 +67,12 @@ func (m *COO[T]) Add(row, col int, val T) {
 func (m *COO[T]) Nnz() int { return len(m.Entries) }
 
 // ToCSR compiles the COO matrix into CRS form: entries are sorted by
-// (row, col), duplicates are summed, and explicitly stored zeros are
-// kept (they are structurally part of the matrix, as in MatrixMarket).
-func (m *COO[T]) ToCSR() *CSR[T] {
-	ent := make([]Entry[T], len(m.Entries))
-	copy(ent, m.Entries)
-	sort.Slice(ent, func(i, j int) bool {
-		if ent[i].Row != ent[j].Row {
-			return ent[i].Row < ent[j].Row
-		}
-		return ent[i].Col < ent[j].Col
-	})
-	// Sum duplicates in place.
-	w := 0
-	for r := 0; r < len(ent); {
-		e := ent[r]
-		r++
-		for r < len(ent) && ent[r].Row == e.Row && ent[r].Col == e.Col {
-			e.Val += ent[r].Val
-			r++
-		}
-		ent[w] = e
-		w++
-	}
-	ent = ent[:w]
-
-	c := &CSR[T]{
-		NRows:  m.Rows,
-		NCols:  m.Cols,
-		RowPtr: make([]int, m.Rows+1),
-		ColIdx: make([]int32, len(ent)),
-		Val:    make([]T, len(ent)),
-	}
-	for i, e := range ent {
-		c.RowPtr[e.Row+1]++
-		c.ColIdx[i] = int32(e.Col)
-		c.Val[i] = e.Val
-	}
-	for i := 0; i < m.Rows; i++ {
-		c.RowPtr[i+1] += c.RowPtr[i]
-	}
-	return c
-}
+// (row, col), duplicates are summed in insertion order, and explicitly
+// stored zeros are kept (they are structurally part of the matrix, as
+// in MatrixMarket). The assembly uses a counting pass with exactly one
+// allocation per output array; ToCSROpt exposes the worker-count,
+// arena and phase-timer knobs.
+func (m *COO[T]) ToCSR() *CSR[T] { return m.ToCSROpt(ConvertOptions{}) }
 
 // CSR is a compressed-row-storage (the paper's "CRS") sparse matrix.
 // Row i occupies Val[RowPtr[i]:RowPtr[i+1]] with matching column

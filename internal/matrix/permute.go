@@ -139,30 +139,110 @@ func sortRow[T Float](cols []int32, vals []T) {
 // index. This is the pJDS "sort" step of Fig. 1; the stable tie-break
 // keeps the construction deterministic.
 func SortRowsByLengthDesc[T Float](m *CSR[T]) Perm {
-	p := Identity(m.NRows)
-	lens := make([]int, m.NRows)
-	for i := range lens {
-		lens[i] = m.RowLen(i)
+	return SortRowsByLengthDescOpt(m, ConvertOptions{})
+}
+
+// SortRowsByLengthDescOpt is SortRowsByLengthDesc with explicit
+// conversion options. The sort is a parallel stable counting sort:
+// every worker histograms its own contiguous row block, an exclusive
+// scan over (bucket, worker) assigns each worker its disjoint output
+// slots per bucket, and the placement pass then runs with no
+// synchronization. Ascending row order within each worker block plus
+// the worker-major scan order reproduce exactly the sequential stable
+// tie-break, so the permutation is identical for every worker count.
+func SortRowsByLengthDescOpt[T Float](m *CSR[T], opt ConvertOptions) Perm {
+	n := m.NRows
+	p := make(Perm, n)
+	if n == 0 {
+		return p
 	}
-	// Counting sort by length: O(N + maxLen), stable, and fast for the
-	// multi-million-row matrices of the paper.
+	done := opt.Phase("jds-sort")
+	defer done()
+
+	workers := opt.EffectiveWorkers()
+	if workers > n {
+		workers = n
+	}
+	// Pin the resolved count so every Run below uses one block split.
+	opt.Workers = workers
+	lens := opt.Arena.Int(n)
+	maxW := opt.Arena.Int(workers)
+	opt.Run(n, func(w, lo, hi int) {
+		max := 0
+		for i := lo; i < hi; i++ {
+			l := m.RowLen(i)
+			lens[i] = l
+			if l > max {
+				max = l
+			}
+		}
+		if max > maxW[w] {
+			maxW[w] = max
+		}
+	})
 	maxLen := 0
-	for _, l := range lens {
-		if l > maxLen {
-			maxLen = l
+	for _, v := range maxW {
+		if v > maxLen {
+			maxLen = v
 		}
 	}
-	count := make([]int, maxLen+2)
-	for _, l := range lens {
-		count[maxLen-l+1]++
+
+	// Per-worker histograms over descending-length buckets
+	// (bucket = maxLen − len, so bucket 0 is the longest row).
+	buckets := maxLen + 1
+	hist := opt.Arena.Int(workers * buckets)
+	opt.Run(n, func(w, lo, hi int) {
+		h := hist[w*buckets : (w+1)*buckets]
+		for i := lo; i < hi; i++ {
+			h[maxLen-lens[i]]++
+		}
+	})
+	// Exclusive scan in (bucket, worker) order: worker w's slots for
+	// bucket b start after every earlier bucket and after the same
+	// bucket's counts from workers < w — the sequential stable order.
+	run := 0
+	for b := 0; b < buckets; b++ {
+		for w := 0; w < workers; w++ {
+			c := hist[w*buckets+b]
+			hist[w*buckets+b] = run
+			run += c
+		}
+	}
+	opt.Run(n, func(w, lo, hi int) {
+		h := hist[w*buckets : (w+1)*buckets]
+		for i := lo; i < hi; i++ { // ascending i gives the stable tie-break
+			b := maxLen - lens[i]
+			p[h[b]] = i
+			h[b]++
+		}
+	})
+	return p
+}
+
+// SortRangeByLengthDesc writes into p[lo:hi] the stable
+// descending-length order of rows [lo, hi) (global row indices),
+// using the precomputed lens array and a scratch count buffer of at
+// least maxLen+2 entries. It is the windowed-sort primitive of the
+// sliced-ELLPACK σ ablation; windows are independent, so callers
+// parallelize across them with one scratch buffer per worker.
+func SortRangeByLengthDesc(lens []int, lo, hi int, p Perm, count []int) {
+	maxLen := 0
+	for i := lo; i < hi; i++ {
+		if lens[i] > maxLen {
+			maxLen = lens[i]
+		}
+	}
+	count = count[:maxLen+2]
+	clear(count)
+	for i := lo; i < hi; i++ {
+		count[maxLen-lens[i]+1]++
 	}
 	for i := 1; i < len(count); i++ {
 		count[i] += count[i-1]
 	}
-	for i := 0; i < m.NRows; i++ { // ascending i gives the stable tie-break
+	for i := lo; i < hi; i++ { // ascending i gives the stable tie-break
 		b := maxLen - lens[i]
-		p[count[b]] = i
+		p[lo+count[b]] = i
 		count[b]++
 	}
-	return p
 }

@@ -1,0 +1,395 @@
+package matrix
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file implements the chunked, parallel MatrixMarket reader: the
+// stream is cut into blocks of whole lines, a worker pool parses each
+// block into flat (row, col, val) triples, and the ordered per-chunk
+// triples feed the counting-pass CSR assembly of convert.go. Ingest
+// of multi-million-entry files is dominated by number parsing, which
+// this parallelizes while keeping the result bit-identical to a
+// sequential parse: chunks are merged strictly in stream order.
+
+// mmChunkBytes is the target parser block size. A variable so the
+// tests can force multi-chunk parsing of small fixtures.
+var mmChunkBytes = 1 << 20
+
+// ReadStats reports what the chunked reader saw; cmd/matinfo streams
+// these instead of materializing a COO copy of the file.
+type ReadStats struct {
+	// Rows, Cols, HeaderNnz echo the size line.
+	Rows, Cols, HeaderNnz int
+	// Entries is the number of stored entries after symmetric
+	// expansion (what the CSR holds before duplicate summing).
+	Entries int64
+	// Chunks is the number of parser blocks and Workers the resolved
+	// worker count.
+	Chunks, Workers int
+}
+
+// mmHeader carries the parsed header and size line.
+type mmHeader struct {
+	field, symmetry string
+	rows, cols, nnz int
+}
+
+// mmTriples is one parsed chunk: flat triple arrays in stream order.
+// err reports the first malformed line; row/col/val hold the entries
+// parsed before it.
+type mmTriples[T Float] struct {
+	row, col []int32
+	val      []T
+	err      error
+}
+
+// ReadMatrixMarketOpt parses a MatrixMarket coordinate stream into
+// CSR with explicit conversion options. Supported qualifiers and
+// semantics match ReadMatrixMarket: real/integer/pattern ×
+// general/symmetric, pattern entries get value 1, symmetric files are
+// expanded to full storage, entries beyond the size-line count are
+// ignored. The result is bit-identical for every worker count.
+func ReadMatrixMarketOpt[T Float](r io.Reader, opt ConvertOptions) (*CSR[T], ReadStats, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var st ReadStats
+	hdr, err := readMMHeader(br)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Rows, st.Cols, st.HeaderNnz = hdr.rows, hdr.cols, hdr.nnz
+	st.Workers = opt.EffectiveWorkers()
+
+	done := opt.Phase("mm-parse")
+	chunks, err := parseMMChunks[T](br, hdr, opt)
+	done()
+	if err != nil {
+		return nil, st, err
+	}
+	st.Chunks = len(chunks)
+
+	// Enforce the size-line entry count in stream order: a chunk error
+	// only matters if it occurs within the first nnz entries (the
+	// sequential reader stopped reading after nnz entries and never saw
+	// trailing garbage).
+	seen := 0
+	for _, c := range chunks {
+		seen += len(c.row)
+		if c.err != nil && seen < hdr.nnz {
+			return nil, st, c.err
+		}
+		if c.err != nil {
+			break
+		}
+	}
+	if seen < hdr.nnz {
+		return nil, st, fmt.Errorf("matrix: MatrixMarket stream truncated: %d of %d entries", seen, hdr.nnz)
+	}
+
+	sym := hdr.symmetry == "symmetric"
+	limit := hdr.nnz
+	src := func(yield func(int, int32, T)) {
+		left := limit
+		for _, c := range chunks {
+			n := len(c.row)
+			if n > left {
+				n = left
+			}
+			for k := 0; k < n; k++ {
+				i, j := c.row[k], c.col[k]
+				yield(int(i), j, c.val[k])
+				if sym && i != j {
+					yield(int(j), i, c.val[k])
+				}
+			}
+			left -= n
+			if left == 0 {
+				break
+			}
+		}
+	}
+	m := assembleCSR(hdr.rows, hdr.cols, hdr.nnz, src, opt)
+	st.Entries = int64(m.Nnz())
+	return m, st, nil
+}
+
+// readMMHeader parses the banner, comments, and size line.
+func readMMHeader(br *bufio.Reader) (mmHeader, error) {
+	var h mmHeader
+	line, err := readMMLine(br)
+	if err != nil {
+		return h, fmt.Errorf("matrix: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(line))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return h, fmt.Errorf("matrix: unsupported MatrixMarket header %q", line)
+	}
+	h.field = header[3]
+	h.symmetry = "general"
+	if len(header) >= 5 {
+		h.symmetry = header[4]
+	}
+	switch h.field {
+	case "real", "integer", "pattern":
+	default:
+		return h, fmt.Errorf("matrix: unsupported MatrixMarket field %q", h.field)
+	}
+	switch h.symmetry {
+	case "general", "symmetric":
+	default:
+		return h, fmt.Errorf("matrix: unsupported MatrixMarket symmetry %q", h.symmetry)
+	}
+
+	// Skip comments and blank lines, read the size line.
+	for {
+		line, err = readMMLine(br)
+		if err != nil {
+			return h, fmt.Errorf("matrix: MatrixMarket stream missing size line")
+		}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
+		}
+		f := strings.Fields(t)
+		if len(f) < 3 {
+			return h, fmt.Errorf("matrix: bad MatrixMarket size line %q", t)
+		}
+		var errs [3]error
+		h.rows, errs[0] = strconv.Atoi(f[0])
+		h.cols, errs[1] = strconv.Atoi(f[1])
+		h.nnz, errs[2] = strconv.Atoi(f[2])
+		for _, e := range errs {
+			if e != nil {
+				return h, fmt.Errorf("matrix: bad MatrixMarket size line %q: %v", t, e)
+			}
+		}
+		break
+	}
+	if h.rows <= 0 || h.cols <= 0 || h.nnz < 0 {
+		return h, fmt.Errorf("matrix: bad MatrixMarket dimensions %dx%d nnz=%d", h.rows, h.cols, h.nnz)
+	}
+	if h.symmetry == "symmetric" && h.rows != h.cols {
+		return h, fmt.Errorf("matrix: symmetric MatrixMarket file must be square, got %dx%d", h.rows, h.cols)
+	}
+	// Refuse sizes whose index arrays alone would exceed ~2 GiB: no
+	// published sparse matrix comes close, and unguarded headers would
+	// let a malformed file drive allocation to OOM.
+	const maxDim = 1 << 28
+	if h.rows > maxDim || h.cols > maxDim || h.nnz > maxDim {
+		return h, fmt.Errorf("matrix: MatrixMarket dimensions %dx%d nnz=%d exceed the %d limit", h.rows, h.cols, h.nnz, maxDim)
+	}
+	return h, nil
+}
+
+// readMMLine reads one line (without the trailing newline); io.EOF
+// with partial content still returns the content.
+func readMMLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// parseMMChunks cuts the remaining stream into whole-line blocks and
+// parses them on a worker pool, returning the chunks in stream order.
+func parseMMChunks[T Float](br *bufio.Reader, hdr mmHeader, opt ConvertOptions) ([]*mmTriples[T], error) {
+	workers := opt.EffectiveWorkers()
+	type job struct {
+		idx  int
+		data []byte
+	}
+	var (
+		chunks []*mmTriples[T]
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		jobs   chan job
+	)
+	put := func(idx int, t *mmTriples[T]) {
+		mu.Lock()
+		for len(chunks) <= idx {
+			chunks = append(chunks, nil)
+		}
+		chunks[idx] = t
+		mu.Unlock()
+	}
+	if workers > 1 {
+		jobs = make(chan job, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					put(j.idx, parseMMChunk[T](j.data, hdr))
+				}
+			}()
+		}
+	}
+
+	idx := 0
+	for {
+		block, err := readMMBlock(br)
+		if err != nil && err != io.EOF {
+			if workers > 1 {
+				close(jobs)
+				wg.Wait()
+			}
+			return nil, err
+		}
+		if len(block) > 0 {
+			if workers > 1 {
+				jobs <- job{idx, block}
+			} else {
+				put(idx, parseMMChunk[T](block, hdr))
+			}
+			idx++
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	if workers > 1 {
+		close(jobs)
+		wg.Wait()
+	}
+	return chunks, nil
+}
+
+// readMMBlock reads about mmChunkBytes bytes extended to a whole-line
+// boundary. It returns io.EOF (possibly alongside a final block) when
+// the stream ends.
+func readMMBlock(br *bufio.Reader) ([]byte, error) {
+	buf := make([]byte, mmChunkBytes)
+	n, err := io.ReadFull(br, buf)
+	block := buf[:n]
+	switch err {
+	case nil:
+		// Extend to the end of the current line.
+		rest, err2 := br.ReadBytes('\n')
+		block = append(block, rest...)
+		if err2 == io.EOF {
+			return block, io.EOF
+		}
+		if err2 != nil {
+			return block, err2
+		}
+		return block, nil
+	case io.ErrUnexpectedEOF, io.EOF:
+		return block, io.EOF
+	default:
+		return block, err
+	}
+}
+
+// parseMMChunk parses one block of whole lines into flat triples. It
+// validates index ranges against the header dimensions and stops at
+// the first malformed line, recording it in err.
+func parseMMChunk[T Float](data []byte, hdr mmHeader) *mmTriples[T] {
+	// Exact preallocation: one potential entry per line.
+	lines := bytes.Count(data, []byte{'\n'}) + 1
+	t := &mmTriples[T]{
+		row: make([]int32, 0, lines),
+		col: make([]int32, 0, lines),
+		val: make([]T, 0, lines),
+	}
+	pattern := hdr.field == "pattern"
+	for len(data) > 0 {
+		var line []byte
+		if k := bytes.IndexByte(data, '\n'); k >= 0 {
+			line, data = data[:k], data[k+1:]
+		} else {
+			line, data = data, nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '%' {
+			continue
+		}
+		f0, rest := mmToken(line)
+		f1, rest := mmToken(rest)
+		i, ok0 := mmAtoi(f0)
+		j, ok1 := mmAtoi(f1)
+		if !ok0 {
+			t.err = fmt.Errorf("matrix: bad row index %q", string(f0))
+			return t
+		}
+		if !ok1 {
+			if len(f1) == 0 {
+				t.err = fmt.Errorf("matrix: short MatrixMarket entry %q", string(line))
+			} else {
+				t.err = fmt.Errorf("matrix: bad column index %q", string(f1))
+			}
+			return t
+		}
+		v := 1.0
+		if !pattern {
+			f2, _ := mmToken(rest)
+			if len(f2) == 0 {
+				t.err = fmt.Errorf("matrix: short MatrixMarket entry %q", string(line))
+				return t
+			}
+			var err error
+			v, err = strconv.ParseFloat(string(f2), 64)
+			if err != nil {
+				t.err = fmt.Errorf("matrix: bad value %q: %v", string(f2), err)
+				return t
+			}
+		}
+		if i < 1 || i > hdr.rows || j < 1 || j > hdr.cols {
+			t.err = fmt.Errorf("matrix: entry (%d,%d) outside %dx%d", i, j, hdr.rows, hdr.cols)
+			return t
+		}
+		t.row = append(t.row, int32(i-1))
+		t.col = append(t.col, int32(j-1))
+		t.val = append(t.val, T(v))
+	}
+	return t
+}
+
+// mmToken splits the next whitespace-delimited token off line.
+func mmToken(line []byte) (tok, rest []byte) {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	j := i
+	for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '\r' {
+		j++
+	}
+	return line[i:j], line[j:]
+}
+
+// mmAtoi parses a (possibly signed) decimal integer.
+func mmAtoi(tok []byte) (int, bool) {
+	if len(tok) == 0 {
+		return 0, false
+	}
+	i, neg := 0, false
+	if tok[0] == '+' || tok[0] == '-' {
+		neg = tok[0] == '-'
+		i++
+	}
+	if i == len(tok) {
+		return 0, false
+	}
+	n := 0
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<40 {
+			return 0, false
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}

@@ -1,0 +1,152 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// withChunkBytes shrinks the parser block size so small fixtures
+// exercise the multi-chunk path.
+func withChunkBytes(t *testing.T, n int) {
+	t.Helper()
+	old := mmChunkBytes
+	mmChunkBytes = n
+	t.Cleanup(func() { mmChunkBytes = old })
+}
+
+// TestReadMatrixMarketOptWorkerDeterminism round-trips a random matrix
+// through the writer and the chunked reader at worker counts 1..8 and
+// tiny chunk sizes: every combination must reproduce the matrix
+// bit-identically.
+func TestReadMatrixMarketOptWorkerDeterminism(t *testing.T) {
+	m := randomCSR(80, 60, 0.05, 21)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{16, 64, 1 << 20} {
+		withChunkBytes(t, chunk)
+		for w := 1; w <= 8; w++ {
+			got, st, err := ReadMatrixMarketOpt[float64](bytes.NewReader(buf.Bytes()),
+				ConvertOptions{Workers: w, ForceParallel: true})
+			if err != nil {
+				t.Fatalf("chunk=%d workers=%d: %v", chunk, w, err)
+			}
+			csrBitIdentical(t, "round trip", m, got)
+			if st.HeaderNnz != m.Nnz() || int(st.Entries) != m.Nnz() {
+				t.Fatalf("stats: header %d entries %d, want %d", st.HeaderNnz, st.Entries, m.Nnz())
+			}
+			if chunk == 16 && st.Chunks < 2 {
+				t.Fatalf("chunk=16 parsed in %d chunk(s); multi-chunk path not exercised", st.Chunks)
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketSymmetricPattern(t *testing.T) {
+	withChunkBytes(t, 24)
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n" +
+		"3 3 3\n2 1\n3 3\n3 1\n"
+	m, st, err := ReadMatrixMarketOpt[float64](strings.NewReader(in), ConvertOptions{Workers: 3, ForceParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 entries, two off-diagonal → 5 stored after expansion.
+	if m.Nnz() != 5 || st.Entries != 5 {
+		t.Fatalf("nnz = %d stats %d, want 5", m.Nnz(), st.Entries)
+	}
+	for _, at := range [][2]int{{1, 0}, {0, 1}, {2, 2}, {2, 0}, {0, 2}} {
+		if m.At(at[0], at[1]) != 1 {
+			t.Fatalf("At(%d,%d) = %g, want 1", at[0], at[1], m.At(at[0], at[1]))
+		}
+	}
+}
+
+// TestReadMatrixMarketTrailingJunk: the sequential reader stopped
+// after the size-line entry count and never looked at trailing bytes;
+// the chunked reader must preserve that behaviour even when the junk
+// lands in a chunk that parsed entries too.
+func TestReadMatrixMarketTrailingJunk(t *testing.T) {
+	withChunkBytes(t, 16)
+	in := "%%MatrixMarket matrix coordinate real general\n" +
+		"2 2 2\n1 1 1.5\n2 2 -3\nthis is not an entry\n"
+	m, _, err := ReadMatrixMarketOpt[float64](strings.NewReader(in), ConvertOptions{Workers: 4, ForceParallel: true})
+	if err != nil {
+		t.Fatalf("trailing junk after nnz entries must be ignored: %v", err)
+	}
+	if m.Nnz() != 2 || m.At(0, 0) != 1.5 || m.At(1, 1) != -3 {
+		t.Fatalf("bad matrix: nnz=%d", m.Nnz())
+	}
+	// Extra *valid* entries beyond nnz are ignored too (old behaviour).
+	in2 := "%%MatrixMarket matrix coordinate real general\n" +
+		"2 2 1\n1 1 1.5\n2 2 -3\n"
+	m2, _, err := ReadMatrixMarketOpt[float64](strings.NewReader(in2), ConvertOptions{})
+	if err != nil || m2.Nnz() != 1 {
+		t.Fatalf("entries beyond header count must be ignored: nnz=%d err=%v", m2.Nnz(), err)
+	}
+}
+
+// TestReadMatrixMarketErrors keeps the sequential reader's error table
+// green through the chunked rewrite.
+func TestReadMatrixMarketErrorsChunked(t *testing.T) {
+	withChunkBytes(t, 16)
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "%%MatrixMarket tensor coordinate real general\n1 1 1\n1 1 1\n",
+		"bad field":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"negative size":  "%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"truncated":      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"entry range":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"short entry":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+		"bad row index":  "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",
+		"bad col index":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1\n",
+		"rect symmetric": "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1\n",
+		"huge dims":      "%%MatrixMarket matrix coordinate real general\n1000000000 1000000000 1\n1 1 1\n",
+	}
+	for name, in := range cases {
+		for _, w := range []int{1, 4} {
+			if _, _, err := ReadMatrixMarketOpt[float64](strings.NewReader(in), ConvertOptions{Workers: w, ForceParallel: true}); err == nil {
+				t.Errorf("%s (workers=%d): no error", name, w)
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketCRLFAndComments(t *testing.T) {
+	withChunkBytes(t, 16)
+	in := "%%MatrixMarket matrix coordinate real general\r\n" +
+		"% a comment\r\n\r\n2 2 2\r\n1 1 1.5\r\n% mid-stream comment\r\n2 2 -3\r\n"
+	m, _, err := ReadMatrixMarketOpt[float64](strings.NewReader(in), ConvertOptions{Workers: 2, ForceParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nnz() != 2 || m.At(0, 0) != 1.5 {
+		t.Fatalf("CRLF parse: nnz=%d", m.Nnz())
+	}
+}
+
+func TestReadMatrixMarketIntegerNoFinalNewline(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 2 7\n2 1 -4"
+	m, _, err := ReadMatrixMarketOpt[float64](strings.NewReader(in), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 7 || m.At(1, 0) != -4 {
+		t.Fatal("integer parse")
+	}
+}
+
+func TestReadMatrixMarketZeroNnz(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n3 3 0\n"
+	m, _, err := ReadMatrixMarketOpt[float64](strings.NewReader(in), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows != 3 || m.Nnz() != 0 {
+		t.Fatalf("zero-nnz: %dx%d nnz=%d", m.NRows, m.NCols, m.Nnz())
+	}
+}

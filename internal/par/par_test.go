@@ -1,0 +1,87 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSetDefaultResolve(t *testing.T) {
+	t.Cleanup(func() { SetDefault(0) })
+	SetDefault(3)
+	if Default() != 3 || Resolve(0) != 3 || Resolve(-1) != 3 {
+		t.Fatalf("default not honored: Default=%d", Default())
+	}
+	if Resolve(5) != 5 {
+		t.Fatal("explicit count must win over the default")
+	}
+	SetDefault(0)
+	if Default() != runtime.GOMAXPROCS(0) {
+		t.Fatal("zero default must fall back to GOMAXPROCS")
+	}
+	SetDefault(-7) // negative behaves like 0
+	if Default() != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative default must fall back to GOMAXPROCS")
+	}
+}
+
+// TestForceForCoversRange: for many (workers, n) combinations the
+// blocks must be disjoint, in order, and cover [0, n) exactly — the
+// property all determinism guarantees rest on.
+func TestForceForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for workers := 1; workers <= 9; workers++ {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			ForceFor(workers, n, func(w, lo, hi int) {
+				if lo >= hi {
+					mu.Lock()
+					defer mu.Unlock()
+					t.Errorf("workers=%d n=%d: empty block [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					mu.Lock()
+					seen[i]++
+					mu.Unlock()
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForSmallNInline: below the sequential threshold For must run the
+// whole range inline as a single block on the calling goroutine.
+func TestForSmallNInline(t *testing.T) {
+	calls := 0
+	For(8, seqThreshold-1, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != seqThreshold-1 {
+			t.Fatalf("inline call got (w=%d, lo=%d, hi=%d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("small n made %d calls, want 1 inline call", calls)
+	}
+	For(8, 0, func(w, lo, hi int) { t.Fatal("n=0 must not call fn") })
+}
+
+// TestForceForWorkerIndexBound: the worker index passed to fn must be
+// below the resolved worker count even when workers > n, so callers
+// can index per-worker scratch sized by EffectiveWorkers.
+func TestForceForWorkerIndexBound(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	ForceFor(16, n, func(w, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if w >= n {
+			t.Errorf("worker index %d not clamped to n=%d", w, n)
+		}
+	})
+}

@@ -26,10 +26,19 @@
 # verdicts to BENCH_PR4.json (schema pjds-chaos/v1), comparable across
 # checkouts with scripts/regress.sh.
 #
+# pr5 mode: the ingest-and-convert pipeline benchmark. Runs the
+# parallel-reader / COO→CSR / pJDS-build / partition micro-benchmarks
+# at worker counts 1/2/4, then the perfreport -convert phase
+# comparison (1 worker vs 4), writing per-phase seconds, speedup, and
+# the §II-C amortization quantities (spMVM-equivalents and break-even
+# iteration count) to BENCH_PR5.json (schema pjds-convert/v1),
+# comparable across checkouts with scripts/regress.sh.
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
 #        scripts/bench.sh pr3 [scale]
 #        scripts/bench.sh pr4 [seed]
+#        scripts/bench.sh pr5 [scale]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -47,6 +56,10 @@ pr4)
     MODE=pr4
     shift
     ;;
+pr5)
+    MODE=pr5
+    shift
+    ;;
 esac
 SCALE="${1:-0.05}"
 
@@ -57,6 +70,23 @@ if [ "$MODE" = pr4 ]; then
     go run ./cmd/chaos -seed "$SEED" -scenarios baseline,drop1pct,crash -skip-modes \
         -json -o BENCH_PR4.json
     echo "wrote BENCH_PR4.json (gate with scripts/regress.sh OLD NEW)"
+    exit 0
+fi
+
+if [ "$MODE" = pr5 ]; then
+    echo "== ingest-and-convert micro-benchmarks =="
+    go test -run '^$' \
+        -bench 'BenchmarkReadMatrixMarket|BenchmarkCOOToCSRWorkers' \
+        -benchtime 3x ./internal/matrix/
+    go test -run '^$' -bench 'BenchmarkNewPJDSWorkers' \
+        -benchtime 3x ./internal/core/
+    go test -run '^$' -bench 'BenchmarkPartition' \
+        -benchtime 3x ./internal/distmv/
+    echo "== perfreport conversion-cost report (scale $SCALE, 4 workers) =="
+    go run ./cmd/perfreport -convert -matrix sAMG -scale "$SCALE" -workers 4
+    go run ./cmd/perfreport -convert -matrix sAMG -scale "$SCALE" -workers 4 \
+        -json -o BENCH_PR5.json
+    echo "wrote BENCH_PR5.json (gate with scripts/regress.sh OLD NEW)"
     exit 0
 fi
 

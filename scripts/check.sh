@@ -2,11 +2,16 @@
 # Repository health check: vet, build, the full test suite, and a race
 # run over the concurrency-heavy packages (virtual-time fabric, the
 # MPI-like layer, the distributed spMVM engine, fault plans, the
-# fault-tolerant solver, telemetry, and the GPU worker pool — the gpu
-# tests exercise Workers>1 and concurrent plan-cache lookups), plus a
-# seeded chaos smoke scenario.
+# fault-tolerant solver, telemetry, the GPU worker pool — the gpu
+# tests exercise Workers>1 and concurrent plan-cache lookups — and the
+# parallel ingest-and-convert pipeline), a seeded chaos smoke scenario,
+# and a conversion determinism smoke (matinfo at 1 vs 4 workers must
+# produce byte-identical output).
 set -eu
 cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
 
 echo "== go vet =="
 go vet ./...
@@ -25,6 +30,21 @@ go test -race ./internal/telemetry/... ./internal/simnet/... \
 echo "== go test -race (gpu worker pool, Workers>1) =="
 go test -race ./internal/gpu/...
 
+echo "== go test -race (ingest-and-convert pipeline) =="
+go test -race ./internal/matrix/... ./internal/core/... \
+    ./internal/formats/... ./internal/par/... ./internal/convert/...
+
+echo "== conversion determinism smoke (matinfo, 1 vs 4 workers) =="
+# The parallel ingest/convert pipeline must be bit-identical to the
+# sequential one: same stats, same footprints, same re-serialized file.
+go run ./cmd/matinfo -gen HMEp -scale 0.02 -out "$TMP/m.mtx" >/dev/null
+go run ./cmd/matinfo -workers 1 -out "$TMP/w1.mtx" "$TMP/m.mtx" |
+    grep -v '^wrote ' >"$TMP/out1"
+go run ./cmd/matinfo -workers 4 -out "$TMP/w4.mtx" "$TMP/m.mtx" |
+    grep -v '^wrote ' >"$TMP/out4"
+cmp "$TMP/w1.mtx" "$TMP/w4.mtx"
+cmp "$TMP/out1" "$TMP/out4"
+
 echo "== chaos smoke (1 dropped message + 1 rank crash, seed 42) =="
 # Injects one message drop and one mid-solve rank crash into the
 # recoverable distributed CG; the run must recover, stay bit-identical
@@ -34,8 +54,6 @@ go run ./cmd/chaos -smoke
 echo "== regression-gate self-diff (perfreport) =="
 # The simulator is deterministic, so two identical runs must produce
 # byte-comparable reports and the gate must find zero regressions.
-TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
 go run ./cmd/perfreport -ranks 4 -scale 0.02 -modes task -json -o "$TMP/a.json" >/dev/null
 go run ./cmd/perfreport -ranks 4 -scale 0.02 -modes task -json -o "$TMP/b.json" >/dev/null
 scripts/regress.sh "$TMP/a.json" "$TMP/b.json"
