@@ -34,6 +34,7 @@ import (
 	"pjds/internal/distmv"
 	"pjds/internal/distsolver"
 	"pjds/internal/faults"
+	"pjds/internal/flight"
 	"pjds/internal/gpu"
 	"pjds/internal/matgen"
 	"pjds/internal/matrix"
@@ -138,6 +139,8 @@ func run(args []string, out io.Writer) error {
 		smoke     = fs.Bool("smoke", false, "quick 1-drop + 1-crash smoke scenario (for CI)")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON")
 		outFile   = fs.String("o", "", "write the report to this file instead of stdout")
+		flightOn  = fs.Bool("flight", false, "enable the ring-buffer flight recorder during the suite")
+		flightOut = fs.String("flight-dump", "", "write a post-incident trace here when the first severe event (rank failure, ECC hit) fires; implies -flight")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +156,23 @@ func run(args []string, out io.Writer) error {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *flightOn || *flightOut != "" {
+		// The dump is one-shot (MaxDumps 1), so the repro pass cannot
+		// rewrite the incident trace of the first suite run — and the
+		// report artifact itself stays byte-identical either way.
+		rec := flight.Enable(0, 0)
+		rec.RegisterHTTP()
+		if *flightOut != "" {
+			rec.SetDump(flight.DumpConfig{Path: *flightOut, MinSeverity: flight.Error})
+		}
+		defer func() {
+			if p := rec.LastDump(); p != "" {
+				fmt.Fprintf(out, "flight recorder dumped %s (perfreport -trace-in %s)\n", p, p)
+			}
+			flight.Disable()
+		}()
 	}
 
 	cfg := config{

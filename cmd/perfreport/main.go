@@ -235,11 +235,11 @@ func runConvertReport(w io.Writer, matrixName string, scale float64, ranks, work
 			return out
 		}
 		doc := map[string]any{
-			"schema":  "pjds-convert/v1",
-			"matrix":  matrixName,
-			"scale":   scale,
-			"ranks":   ranks,
-			"workers": workers,
+			"schema":                        "pjds-convert/v1",
+			"matrix":                        matrixName,
+			"scale":                         scale,
+			"ranks":                         ranks,
+			"workers":                       workers,
 			"phases_workers1_seconds":       phaseMap(seq),
 			"phases_parallel_seconds":       phaseMap(par),
 			"convert_seconds_workers1":      seqTotal,

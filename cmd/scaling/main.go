@@ -16,9 +16,13 @@
 //
 // Observability: -metrics-out dumps the process-wide telemetry
 // registry after the run (Prometheus text, or JSON for .json paths),
-// -metrics-addr serves /metrics, /metrics.json, /debug/vars and
-// /debug/pprof live while the run executes, and -trace-out writes a
-// Chrome trace of every rank's comm, GPU and solver lanes.
+// -metrics-addr serves /metrics, /metrics.json, /dashboard, /healthz,
+// /health, /debug/vars and /debug/pprof live while the run executes,
+// and -trace-out writes a Chrome trace of every rank's comm, GPU and
+// solver lanes. -flight enables the ring-buffer flight recorder
+// (adding /spans), -flight-dump arms a post-incident trace dump on
+// severe events, and -hold keeps the endpoint up after the run so
+// cmd/spmvtop or a browser on /dashboard can watch the final state.
 package main
 
 import (
@@ -29,11 +33,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pjds/internal/distmv"
 	"pjds/internal/distsolver"
 	"pjds/internal/experiments"
+	"pjds/internal/flight"
 	"pjds/internal/gpu"
+	"pjds/internal/health"
 	"pjds/internal/mpi"
 	"pjds/internal/par"
 	"pjds/internal/simnet"
@@ -68,8 +75,11 @@ func run(args []string, out io.Writer) error {
 		gpusNode   = fs.Int("gpuspernode", 1, "GPUs per physical node (intra-node traffic uses shared memory)")
 		perfReport = fs.Bool("perfreport", false, "append a one-line critical-path/overlap summary to each Fig. 5 point (cmd/perfreport gives the full report)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
-		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
+		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /dashboard, /debug/vars and /debug/pprof on this address during the run")
 		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel and format conversion (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		flightOn   = fs.Bool("flight", false, "enable the always-on flight recorder (/spans on -metrics-addr)")
+		flightDump = fs.String("flight-dump", "", "write a post-incident trace here when a severe event fires (implies -flight)")
+		hold       = fs.Duration("hold", 0, "keep the -metrics-addr endpoint serving this long after the run (live dashboards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,13 +99,36 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown format %q", *formatArg)
 	}
 
+	if *flightOn || *flightDump != "" {
+		rec := flight.Enable(0, 0)
+		rec.RegisterHTTP()
+		if *flightDump != "" {
+			rec.SetDump(flight.DumpConfig{Path: *flightDump, MinSeverity: flight.Error})
+		}
+		defer func() {
+			if p := rec.LastDump(); p != "" {
+				fmt.Fprintf(out, "flight recorder dumped %s\n", p)
+			}
+			flight.Disable()
+		}()
+	}
 	if *metricsAdr != "" {
+		eng := health.New(telemetry.Default(), health.Options{})
+		eng.RegisterHTTP()
+		eng.Start(health.Options{})
+		defer eng.Stop()
 		srv, err := telemetry.Serve(*metricsAdr, telemetry.Default())
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", srv.Addr)
+		if *hold > 0 {
+			defer func() {
+				fmt.Fprintf(out, "holding endpoint for %s (spmvtop -addr %s)\n", *hold, srv.Addr)
+				time.Sleep(*hold)
+			}()
+		}
 	}
 
 	dispatch := func() error {

@@ -27,7 +27,9 @@ import (
 	"runtime/pprof"
 
 	"pjds/internal/experiments"
+	"pjds/internal/flight"
 	"pjds/internal/gpu"
+	"pjds/internal/health"
 	"pjds/internal/par"
 	"pjds/internal/telemetry"
 )
@@ -51,8 +53,10 @@ func run(args []string, out io.Writer) error {
 		matrixArg  = fs.String("matrix", "sAMG", "matrix for -fig2/-ablations: DLR1, DLR2, HMEp, sAMG, UHBR")
 		jsonOut    = fs.String("json", "", "write the Table I measurements as machine-readable JSON to this file (implies -table1)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
-		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address during the run")
+		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /dashboard, /debug/vars and /debug/pprof on this address during the run")
 		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel and format conversion (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		flightOn   = fs.Bool("flight", false, "enable the always-on flight recorder (/spans on -metrics-addr)")
+		flightDump = fs.String("flight-dump", "", "write a post-incident trace here when a severe event fires (implies -flight)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file after the run")
 	)
@@ -94,7 +98,24 @@ func run(args []string, out io.Writer) error {
 	if !*table1 && !*fig2 && !*ablations && !*outlook {
 		*table1 = true
 	}
+	if *flightOn || *flightDump != "" {
+		rec := flight.Enable(0, 0)
+		rec.RegisterHTTP()
+		if *flightDump != "" {
+			rec.SetDump(flight.DumpConfig{Path: *flightDump, MinSeverity: flight.Error})
+		}
+		defer func() {
+			if p := rec.LastDump(); p != "" {
+				fmt.Fprintf(out, "flight recorder dumped %s\n", p)
+			}
+			flight.Disable()
+		}()
+	}
 	if *metricsAdr != "" {
+		eng := health.New(telemetry.Default(), health.Options{})
+		eng.RegisterHTTP()
+		eng.Start(health.Options{})
+		defer eng.Stop()
 		srv, err := telemetry.Serve(*metricsAdr, telemetry.Default())
 		if err != nil {
 			return err

@@ -1,0 +1,368 @@
+// Command spmvtop is a terminal dashboard for live pjds runs: it
+// attaches to any -metrics-addr endpoint (cmd/scaling, cmd/chaos,
+// cmd/spmvbench) and renders per-rank utilization, comm vs compute
+// split, residual convergence, the health verdict, and the flight
+// recorder's event feed, refreshing in place like top(1).
+//
+//	spmvtop -addr localhost:9090
+//	spmvtop -addr localhost:9090 -once   # one frame, no screen control
+//
+// Rates are derived client-side from successive /metrics.json polls;
+// /healthz and /spans are rendered when the run exposes them (health
+// engine or flight recorder enabled) and skipped silently otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pjds/internal/telemetry"
+	"pjds/internal/textplot"
+)
+
+type options struct {
+	addr     string
+	interval time.Duration
+	once     bool
+	width    int
+	events   int
+}
+
+// healthDoc mirrors the /healthz JSON.
+type healthDoc struct {
+	Status  string `json:"status"`
+	Signals []struct {
+		Name    string             `json:"name"`
+		Status  string             `json:"status"`
+		Value   float64            `json:"value"`
+		Cause   string             `json:"cause"`
+		PerRank map[string]float64 `json:"per_rank"`
+	} `json:"signals"`
+}
+
+// spansDoc mirrors the /spans JSON event feed.
+type spansDoc struct {
+	EventsTotal uint64 `json:"events_total"`
+	Events      []struct {
+		Seq   uint64  `json:"seq"`
+		Time  float64 `json:"t"`
+		Rank  int     `json:"rank"`
+		Sev   string  `json:"sev"`
+		Kind  string  `json:"kind"`
+		Msg   string  `json:"msg"`
+		Value float64 `json:"value"`
+	} `json:"events"`
+}
+
+// poll is one fetched view of the endpoint.
+type poll struct {
+	at     time.Time
+	series []telemetry.Series
+	health *healthDoc
+	spans  *spansDoc
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.addr, "addr", "", "metrics endpoint to attach to (host:port, required)")
+	flag.DurationVar(&opt.interval, "interval", time.Second, "refresh period")
+	flag.BoolVar(&opt.once, "once", false, "render one frame without screen control and exit")
+	flag.IntVar(&opt.width, "width", 72, "render width in columns")
+	flag.IntVar(&opt.events, "events", 8, "flight-recorder events shown")
+	flag.Parse()
+	if opt.addr == "" {
+		fmt.Fprintln(os.Stderr, "spmvtop: -addr is required (the host:port printed by -metrics-addr)")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "spmvtop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, opt options) error {
+	base := "http://" + strings.TrimPrefix(strings.TrimPrefix(opt.addr, "http://"), "https://")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var prev *poll
+	var residualX, residualY []float64
+	for {
+		cur, err := fetch(client, base)
+		if err != nil {
+			if opt.once {
+				return err
+			}
+			fmt.Fprintf(w, "spmvtop: %v (retrying in %s)\n", err, opt.interval)
+			time.Sleep(opt.interval)
+			continue
+		}
+		if res, it, ok := residualPoint(cur.series); ok {
+			if len(residualX) == 0 || it > residualX[len(residualX)-1] {
+				residualX = append(residualX, it)
+				residualY = append(residualY, res)
+			}
+		}
+		var frame strings.Builder
+		render(&frame, opt, base, prev, cur, residualX, residualY)
+		if !opt.once {
+			// Home + clear-to-end keeps refresh flicker-free on ANSI
+			// terminals without any curses dependency.
+			fmt.Fprint(w, "\x1b[H\x1b[2J")
+		}
+		if _, err := io.WriteString(w, frame.String()); err != nil {
+			return err
+		}
+		if opt.once {
+			return nil
+		}
+		prev = cur
+		time.Sleep(opt.interval)
+	}
+}
+
+// fetch pulls one consistent-ish view of the endpoint. /healthz and
+// /spans are optional: 404 (subsystem not enabled) leaves them nil.
+func fetch(client *http.Client, base string) (*poll, error) {
+	resp, err := client.Get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics.json: %s", resp.Status)
+	}
+	series, err := telemetry.ReadSnapshot(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	p := &poll{at: time.Now(), series: series}
+
+	if resp, err := client.Get(base + "/healthz"); err == nil {
+		// /healthz serves 503 on Fail with the same JSON body.
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable {
+			var h healthDoc
+			if json.NewDecoder(resp.Body).Decode(&h) == nil {
+				p.health = &h
+			}
+		}
+		resp.Body.Close()
+	}
+	if resp, err := client.Get(base + "/spans"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			var s spansDoc
+			if json.NewDecoder(resp.Body).Decode(&s) == nil {
+				p.spans = &s
+			}
+		}
+		resp.Body.Close()
+	}
+	return p, nil
+}
+
+// residualPoint extracts (residual, iterations) when the gauges exist.
+func residualPoint(series []telemetry.Series) (res, iters float64, ok bool) {
+	var haveRes, haveIt bool
+	for _, s := range series {
+		switch s.Name {
+		case "solver_residual":
+			if !haveRes || s.Value > res {
+				res = s.Value
+			}
+			haveRes = true
+		case "solver_iterations":
+			if !haveIt || s.Value > iters {
+				iters = s.Value
+			}
+			haveIt = true
+		}
+	}
+	return res, iters, haveRes && haveIt
+}
+
+// seriesKey indexes a snapshot for rate math.
+func seriesKey(s telemetry.Series) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteString("|" + k + "=" + s.Labels[k])
+	}
+	return b.String()
+}
+
+// rankRow accumulates one rank's live numbers.
+type rankRow struct {
+	kernelSec, waitSec, sends, recvs, bytes float64
+}
+
+func render(w *strings.Builder, opt options, base string, prev, cur *poll, resX, resY []float64) {
+	fmt.Fprintf(w, "spmvtop — %s — %s\n", base, cur.at.Format("15:04:05"))
+
+	// Health banner.
+	if cur.health != nil {
+		fmt.Fprintf(w, "health: %s", strings.ToUpper(cur.health.Status))
+		var causes []string
+		for _, s := range cur.health.Signals {
+			if s.Status != "pass" && s.Cause != "" {
+				causes = append(causes, s.Name+": "+s.Cause)
+			}
+		}
+		if len(causes) > 0 {
+			fmt.Fprintf(w, "  (%s)", strings.Join(causes, "; "))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+
+	prevVals := map[string]float64{}
+	var dt float64
+	if prev != nil {
+		dt = cur.at.Sub(prev.at).Seconds()
+		for _, s := range prev.series {
+			if s.Type == "counter" {
+				prevVals[seriesKey(s)] = s.Value
+			}
+		}
+	}
+	rate := func(s telemetry.Series) float64 {
+		if dt <= 0 {
+			return 0
+		}
+		if old, ok := prevVals[seriesKey(s)]; ok && s.Value >= old {
+			return (s.Value - old) / dt
+		}
+		return 0
+	}
+
+	// Per-rank utilization: totals plus live rates for byte traffic.
+	ranks := map[string]*rankRow{}
+	rankRates := map[string]float64{}
+	var totKernel, totWait, totSendSer float64
+	for _, s := range cur.series {
+		if s.Type != "counter" {
+			continue
+		}
+		switch s.Name {
+		case "gpu_kernel_seconds_total":
+			totKernel += s.Value
+		case "mpi_recv_wait_seconds_total":
+			totWait += s.Value
+		case "mpi_send_serialization_seconds_total":
+			totSendSer += s.Value
+		}
+		rank, ok := s.Labels["rank"]
+		if !ok {
+			continue
+		}
+		r := ranks[rank]
+		if r == nil {
+			r = &rankRow{}
+			ranks[rank] = r
+		}
+		switch s.Name {
+		case "gpu_kernel_seconds_total":
+			r.kernelSec += s.Value
+		case "mpi_recv_wait_seconds_total":
+			r.waitSec += s.Value
+		case "mpi_sends_total":
+			r.sends += s.Value
+		case "mpi_recvs_total":
+			r.recvs += s.Value
+		case "gpu_kernel_bytes_total":
+			r.bytes += s.Value
+			rankRates[rank] += rate(s)
+		}
+	}
+	if len(ranks) > 0 {
+		ids := make([]string, 0, len(ranks))
+		for id := range ranks {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			return fmt.Sprintf("%09s", ids[i]) < fmt.Sprintf("%09s", ids[j])
+		})
+		rows := [][]string{{"rank", "kernel s", "wait s", "busy", "sends", "recvs", "GB moved", "GB/s now"}}
+		for _, id := range ids {
+			r := ranks[id]
+			busy := "-"
+			if tot := r.kernelSec + r.waitSec; tot > 0 {
+				busy = bar(r.kernelSec/tot, 10)
+			}
+			gbs := "-"
+			if v := rankRates[id]; v > 0 {
+				gbs = fmt.Sprintf("%.2f", v/1e9)
+			}
+			rows = append(rows, []string{
+				id,
+				fmt.Sprintf("%.4g", r.kernelSec),
+				fmt.Sprintf("%.4g", r.waitSec),
+				busy,
+				fmt.Sprintf("%.0f", r.sends),
+				fmt.Sprintf("%.0f", r.recvs),
+				fmt.Sprintf("%.3f", r.bytes/1e9),
+				gbs,
+			})
+		}
+		fmt.Fprintln(w, "per-rank utilization (busy = kernel vs recv-wait share)")
+		_ = textplot.Table(w, rows)
+		fmt.Fprintln(w)
+	}
+
+	// Comm vs compute split across the whole run so far.
+	if tot := totKernel + totWait + totSendSer; tot > 0 {
+		fmt.Fprintln(w, "comm vs compute (cumulative)")
+		fmt.Fprintf(w, "  compute %s %.4gs\n", bar(totKernel/tot, 30), totKernel)
+		fmt.Fprintf(w, "  wait    %s %.4gs\n", bar(totWait/tot, 30), totWait)
+		fmt.Fprintf(w, "  sendser %s %.4gs\n", bar(totSendSer/tot, 30), totSendSer)
+		fmt.Fprintln(w)
+	}
+
+	// Residual convergence curve accumulated over polls.
+	if len(resX) >= 2 {
+		_ = textplot.Plot(w, "solver residual vs iteration", opt.width-12, 8, []textplot.Series{
+			{Name: "residual", X: resX, Y: resY},
+		})
+		fmt.Fprintln(w)
+	} else if len(resX) == 1 {
+		fmt.Fprintf(w, "solver: iteration %.0f, residual %.3g\n\n", resX[0], resY[0])
+	}
+
+	// Flight-recorder event feed, newest first.
+	if cur.spans != nil {
+		fmt.Fprintf(w, "events (flight recorder, %d total)\n", cur.spans.EventsTotal)
+		evs := cur.spans.Events
+		if len(evs) > opt.events {
+			evs = evs[len(evs)-opt.events:]
+		}
+		if len(evs) == 0 {
+			fmt.Fprintln(w, "  (none)")
+		}
+		for i := len(evs) - 1; i >= 0; i-- {
+			e := evs[i]
+			fmt.Fprintf(w, "  t=%-9.4g r%-3d %-5s %-24s %s\n", e.Time, e.Rank, e.Sev, e.Kind, e.Msg)
+		}
+	}
+}
+
+// bar renders a 0..1 fraction as a fixed-width block gauge.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", n) + strings.Repeat(".", width-n) + "]"
+}

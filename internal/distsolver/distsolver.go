@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"pjds/internal/distmv"
+	"pjds/internal/flight"
 	"pjds/internal/formats"
 	"pjds/internal/gpu"
 	"pjds/internal/mpi"
@@ -180,6 +181,7 @@ func (op *Operator) degrade(at int) {
 	op.DegradedAt = at
 	op.Inst.registry().Counter("distsolver_ecc_downgrades_total",
 		telemetry.Li("rank", op.RP.Rank)).Inc()
+	flight.Record(flight.Error, "solver.ecc_downgrade", op.RP.Rank, 0, "operator degraded to host path after ECC event", float64(at))
 }
 
 // deviceMul runs the split kernels on the simulator and advances the

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"pjds/internal/distmv"
+	"pjds/internal/flight"
 	"pjds/internal/gpu"
 	"pjds/internal/mpi"
 	"pjds/internal/simnet"
@@ -303,6 +304,7 @@ func RecoverableCG(fabric *simnet.Fabric, problems []*distmv.RankProblem, b, x0 
 					res.Checkpoints++
 					mu.Unlock()
 					reg.Counter("distsolver_checkpoints_total").Inc()
+					flight.Record(flight.Info, "solver.checkpoint", rank, c.Clock(), "committed in-memory solver checkpoint", float64(k))
 				}
 				if in != nil && in.Spans != nil {
 					in.Spans.Add(telemetry.Span{
@@ -405,6 +407,7 @@ func RecoverableCG(fabric *simnet.Fabric, problems []*distmv.RankProblem, b, x0 
 				res.DeadRanks = append(res.DeadRanks, rf.Rank)
 				res.HostOf[rf.Rank] = host
 				reg.Counter("distsolver_rehosted_ranks_total").Inc()
+				flight.Record(flight.Warn, "solver.rehost", rf.Rank, rf.DetectedAt, "logical rank re-hosted on surviving node", float64(host))
 			}
 		case errors.As(err, &rx):
 			// Transport gave up on a link: roll back and retry the
@@ -419,6 +422,7 @@ func RecoverableCG(fabric *simnet.Fabric, problems []*distmv.RankProblem, b, x0 
 		res.Restarts++
 		reg.Counter("distsolver_rollbacks_total").Inc()
 		failAt = maxClock(clocks)
+		flight.Record(flight.Warn, "solver.rollback", -1, failAt, "rolling back to last checkpoint after detected failure", float64(res.Restarts))
 		resumeBase = failAt + cfg.restartSeconds()
 		res.RecoverySeconds += cfg.restartSeconds()
 		reg.Counter("distsolver_recovery_seconds_total").Add(cfg.restartSeconds())

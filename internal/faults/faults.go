@@ -17,6 +17,7 @@ package faults
 import (
 	"sync"
 
+	"pjds/internal/flight"
 	"pjds/internal/simnet"
 )
 
@@ -121,6 +122,7 @@ func (p *Plan) CrashNow(rank, iter int) bool {
 		p.crashFired = map[int]bool{}
 	}
 	p.crashFired[rank] = true
+	flight.Record(flight.Warn, "faults.crash_armed", rank, 0, "planned rank crash fired at solver iteration", float64(iter))
 	return true
 }
 
@@ -146,6 +148,7 @@ func (p *Plan) ECCNow(rank, launch int) bool {
 		p.eccFired = map[int]bool{}
 	}
 	p.eccFired[rank] = true
+	flight.Record(flight.Warn, "faults.ecc_armed", rank, 0, "planned ECC hit fired at kernel launch", float64(launch))
 	return true
 }
 

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"pjds/internal/flight"
 	"pjds/internal/telemetry"
 )
 
@@ -41,5 +42,6 @@ func eccCheck(opt RunOptions, kernel string) error {
 	reg.Help("gpu_ecc_errors_total", "injected uncorrectable double-bit ECC events")
 	lbl := append([]telemetry.Label{telemetry.L("kernel", kernel)}, opt.MetricLabels...)
 	reg.Counter("gpu_ecc_errors_total", lbl...).Inc()
+	flight.Record(flight.Error, "gpu.ecc", -1, 0, "uncorrectable double-bit ECC event on kernel launch", 0)
 	return &ECCError{Kernel: kernel}
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pjds/internal/flight"
 	"pjds/internal/matrix"
 	"pjds/internal/telemetry"
 )
@@ -196,6 +197,7 @@ func publishLookup(reg *telemetry.Registry, kernel string, d *Device, hit bool, 
 		reg.Counter("gpu_plan_cache_misses_total", lbl...).Inc()
 		reg.Help("gpu_plan_compile_warps_total", "warps analyzed by kernel-plan compilation")
 		reg.Counter("gpu_plan_compile_warps_total", lbl...).Add(float64(warps))
+		flight.Record(flight.Debug, "gpu.plan_cache_miss", -1, 0, "kernel-plan cache miss compiled a new plan", float64(warps))
 	}
 }
 

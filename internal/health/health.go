@@ -1,0 +1,471 @@
+// Package health is the rolling-window health evaluator of a live
+// run: it snapshots the telemetry registry on a ticker into a small
+// in-memory time series and derives *rates* from counter deltas —
+// the paper's quantities are rates, not totals — turning the raw
+// instrumentation into a handful of pass/warn/fail signals:
+//
+//   - gpu_throughput: aggregate and per-rank GB/s moved by the spMVM
+//     kernels (the numerator of the Eq. 1 bandwidth efficiency)
+//   - overlap_efficiency: compute time vs exposed communication wait,
+//     the §III-A question of how much of T_comm hides under T_kernel
+//   - failures: rank crashes, detector firings, and exhausted retry
+//     budgets inside the window (§IV fault model) — the only Fail
+//   - faults: injected-fault and rollback activity (degraded but
+//     progressing → Warn)
+//   - residual_stall: solver residual not shrinking while iterations
+//     advance, or going non-finite (divergence)
+//   - heartbeat: MPI progress silence after earlier activity
+//
+// The aggregate status is served on /healthz (HTTP 200 for pass and
+// warn, 503 for fail) with per-signal causes, and the full sample
+// window on /health. Transitions are recorded into the flight
+// recorder, so a health Fail can trigger a post-incident dump.
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pjds/internal/flight"
+	"pjds/internal/telemetry"
+)
+
+// Status is a three-level health verdict.
+type Status uint8
+
+const (
+	Pass Status = iota
+	Warn
+	Fail
+)
+
+// String returns the lowercase status name.
+func (s Status) String() string {
+	switch s {
+	case Pass:
+		return "pass"
+	case Warn:
+		return "warn"
+	case Fail:
+		return "fail"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the status as its string form.
+func (s Status) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the string form back (clients of /healthz).
+func (s *Status) UnmarshalJSON(data []byte) error {
+	var raw string
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch raw {
+	case "pass":
+		*s = Pass
+	case "warn":
+		*s = Warn
+	case "fail":
+		*s = Fail
+	default:
+		return fmt.Errorf("health: unknown status %q", raw)
+	}
+	return nil
+}
+
+// Signal is one derived health signal.
+type Signal struct {
+	Name   string  `json:"name"`
+	Status Status  `json:"status"`
+	Value  float64 `json:"value"`
+	Cause  string  `json:"cause,omitempty"`
+	// PerRank breaks Value down by rank label where that exists
+	// (gpu_throughput).
+	PerRank map[string]float64 `json:"per_rank,omitempty"`
+}
+
+// Report is one evaluation of the window.
+type Report struct {
+	Status  Status   `json:"status"`
+	Now     float64  `json:"now"`
+	Window  float64  `json:"window_seconds"`
+	Samples int      `json:"samples"`
+	Signals []Signal `json:"signals"`
+}
+
+// sample is one registry snapshot, flattened for rate math.
+type sample struct {
+	at      float64            // seconds on the engine clock
+	sums    map[string]float64 // counter name → sum over label sets
+	maxes   map[string]float64 // gauge name → max over label sets
+	perRank map[string]map[string]float64
+}
+
+// Options parameterizes an Engine.
+type Options struct {
+	// Window is how many samples the rolling window keeps (default 30).
+	Window int
+	// Interval is the Start ticker period (default 1s).
+	Interval time.Duration
+}
+
+// Engine evaluates a registry's health over a rolling window. Feed it
+// either with Start (wall-clock ticker) or explicit Tick calls
+// (tests, virtual time).
+type Engine struct {
+	reg    *telemetry.Registry
+	window int
+
+	mu      sync.Mutex
+	samples []sample
+	last    Status
+	ever    bool // any MPI progress observed since start
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds an engine over reg.
+func New(reg *telemetry.Registry, opts Options) *Engine {
+	w := opts.Window
+	if w <= 0 {
+		w = 30
+	}
+	return &Engine{reg: reg, window: w, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// counterNames are the families the signals consume, summed across
+// label sets.
+var counterNames = []string{
+	"gpu_kernel_bytes_total",
+	"gpu_kernel_seconds_total",
+	"mpi_recv_wait_seconds_total",
+	"mpi_send_serialization_seconds_total",
+	"mpi_sends_total",
+	"mpi_recvs_total",
+	"mpi_collectives_total",
+	"mpi_failures_detected_total",
+	"mpi_rank_crashes_total",
+	"mpi_retries_exhausted_total",
+	"gpu_ecc_errors_total",
+	"simnet_faults_injected_total",
+	"distsolver_rollbacks_total",
+	"distsolver_ecc_downgrades_total",
+}
+
+// Tick takes one sample at the given clock reading and re-evaluates.
+func (e *Engine) Tick(now float64) Report {
+	s := sample{
+		at:      now,
+		sums:    make(map[string]float64, len(counterNames)),
+		maxes:   map[string]float64{},
+		perRank: map[string]map[string]float64{},
+	}
+	for _, sr := range e.reg.Snapshot() {
+		switch sr.Type {
+		case "counter":
+			s.sums[sr.Name] += sr.Value
+			if rank, ok := sr.Labels["rank"]; ok && sr.Name == "gpu_kernel_bytes_total" {
+				if s.perRank[sr.Name] == nil {
+					s.perRank[sr.Name] = map[string]float64{}
+				}
+				s.perRank[sr.Name][rank] += sr.Value
+			}
+		case "gauge":
+			if v, ok := s.maxes[sr.Name]; !ok || sr.Value > v {
+				s.maxes[sr.Name] = sr.Value
+			}
+		}
+	}
+
+	e.mu.Lock()
+	e.samples = append(e.samples, s)
+	if len(e.samples) > e.window {
+		e.samples = e.samples[len(e.samples)-e.window:]
+	}
+	rep := e.evaluateLocked()
+	prev := e.last
+	e.last = rep.Status
+	e.mu.Unlock()
+
+	if prev != rep.Status {
+		sev := flight.Info
+		switch rep.Status {
+		case Warn:
+			sev = flight.Warn
+		case Fail:
+			sev = flight.Error
+		}
+		flight.Record(sev, "health.status", -1, now, cause(rep), float64(rep.Status))
+	}
+	return rep
+}
+
+// cause picks the most severe signal's cause for the transition event.
+func cause(rep Report) string {
+	for _, s := range rep.Signals {
+		if s.Status == rep.Status && s.Cause != "" {
+			return s.Name + ": " + s.Cause
+		}
+	}
+	return "status " + rep.Status.String()
+}
+
+// delta returns newest-minus-oldest for a summed counter family.
+func delta(oldest, newest sample, name string) float64 {
+	d := newest.sums[name] - oldest.sums[name]
+	if d < 0 {
+		return 0 // registry reset between samples
+	}
+	return d
+}
+
+// evaluateLocked derives the signals from the current window.
+func (e *Engine) evaluateLocked() Report {
+	n := len(e.samples)
+	rep := Report{Samples: n}
+	if n == 0 {
+		rep.Signals = []Signal{{Name: "window", Status: Pass, Cause: "no samples yet"}}
+		return rep
+	}
+	newest := e.samples[n-1]
+	oldest := e.samples[0]
+	rep.Now = newest.at
+	rep.Window = newest.at - oldest.at
+	if n < 2 || rep.Window <= 0 {
+		rep.Signals = []Signal{{Name: "window", Status: Pass, Value: float64(n), Cause: "warming up"}}
+		return rep
+	}
+	elapsed := rep.Window
+
+	// gpu_throughput: GB/s moved by the kernels over the window, the
+	// live numerator of the Eq. 1 bandwidth-efficiency story.
+	{
+		gbs := delta(oldest, newest, "gpu_kernel_bytes_total") / elapsed / 1e9
+		sig := Signal{Name: "gpu_throughput", Status: Pass, Value: gbs}
+		if pr := newest.perRank["gpu_kernel_bytes_total"]; len(pr) > 0 {
+			sig.PerRank = map[string]float64{}
+			for rank, v := range pr {
+				old := 0.0
+				if po := oldest.perRank["gpu_kernel_bytes_total"]; po != nil {
+					old = po[rank]
+				}
+				if d := v - old; d > 0 {
+					sig.PerRank[rank] = d / elapsed / 1e9
+				}
+			}
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
+	// overlap_efficiency: compute / (compute + exposed comm wait) —
+	// the §III-A question. Only meaningful while kernels run.
+	{
+		compute := delta(oldest, newest, "gpu_kernel_seconds_total")
+		exposed := delta(oldest, newest, "mpi_recv_wait_seconds_total") +
+			delta(oldest, newest, "mpi_send_serialization_seconds_total")
+		sig := Signal{Name: "overlap_efficiency", Status: Pass, Value: 1}
+		switch {
+		case compute+exposed == 0:
+			sig.Cause = "idle"
+		default:
+			sig.Value = compute / (compute + exposed)
+			if sig.Value < 0.5 {
+				sig.Status = Warn
+				sig.Cause = fmt.Sprintf("exposed communication wait exceeds compute (%.0f%% efficiency)", 100*sig.Value)
+			}
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
+	// failures: the §IV fault model's hard signals. Any rank crash,
+	// detector firing, or exhausted retry budget inside the window is
+	// a Fail; it clears when the window slides past the incident.
+	{
+		crashes := delta(oldest, newest, "mpi_rank_crashes_total")
+		detected := delta(oldest, newest, "mpi_failures_detected_total")
+		exhausted := delta(oldest, newest, "mpi_retries_exhausted_total")
+		sig := Signal{Name: "failures", Status: Pass, Value: crashes + detected + exhausted}
+		if sig.Value > 0 {
+			sig.Status = Fail
+			var parts []string
+			if crashes > 0 {
+				parts = append(parts, fmt.Sprintf("%.0f rank crash(es)", crashes))
+			}
+			if detected > 0 {
+				parts = append(parts, fmt.Sprintf("%.0f detector firing(s)", detected))
+			}
+			if exhausted > 0 {
+				parts = append(parts, fmt.Sprintf("%.0f retry budget(s) exhausted", exhausted))
+			}
+			sig.Cause = strings.Join(parts, ", ") + " in window"
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
+	// faults: degraded-but-progressing activity — injected faults, ECC
+	// events, rollbacks, downgrades. Warn, not Fail: the recovery
+	// machinery exists exactly to absorb these.
+	{
+		injected := delta(oldest, newest, "simnet_faults_injected_total")
+		ecc := delta(oldest, newest, "gpu_ecc_errors_total")
+		rollbacks := delta(oldest, newest, "distsolver_rollbacks_total")
+		downgrades := delta(oldest, newest, "distsolver_ecc_downgrades_total")
+		sig := Signal{Name: "faults", Status: Pass, Value: injected + ecc + rollbacks + downgrades}
+		if sig.Value > 0 {
+			sig.Status = Warn
+			var parts []string
+			if injected > 0 {
+				parts = append(parts, fmt.Sprintf("%.0f fault(s) injected", injected))
+			}
+			if ecc > 0 {
+				parts = append(parts, fmt.Sprintf("%.0f ECC event(s)", ecc))
+			}
+			if rollbacks > 0 {
+				parts = append(parts, fmt.Sprintf("%.0f rollback(s)", rollbacks))
+			}
+			if downgrades > 0 {
+				parts = append(parts, fmt.Sprintf("%.0f ECC downgrade(s)", downgrades))
+			}
+			sig.Cause = strings.Join(parts, ", ") + " in window (recovering)"
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
+	// residual_stall: solver divergence (non-finite residual → Fail)
+	// or a residual that stopped shrinking while iterations advance
+	// (→ Warn).
+	if res, ok := newest.maxes["solver_residual"]; ok {
+		sig := Signal{Name: "residual_stall", Status: Pass, Value: res}
+		oldRes, hadOld := oldest.maxes["solver_residual"]
+		iters := newest.maxes["solver_iterations"] - oldest.maxes["solver_iterations"]
+		switch {
+		case math.IsNaN(res) || math.IsInf(res, 0):
+			sig.Status = Fail
+			sig.Cause = "solver residual non-finite (diverged)"
+		case hadOld && iters > 0 && res >= oldRes && oldRes > 0:
+			sig.Status = Warn
+			sig.Cause = fmt.Sprintf("residual not shrinking over %.0f iteration(s)", iters)
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
+	// heartbeat: MPI progress silence. Warn-only by design — a
+	// finished run idling behind -hold must stay healthy, but a
+	// mid-run stall should still surface.
+	{
+		progress := delta(oldest, newest, "mpi_sends_total") +
+			delta(oldest, newest, "mpi_recvs_total") +
+			delta(oldest, newest, "mpi_collectives_total")
+		total := newest.sums["mpi_sends_total"] + newest.sums["mpi_recvs_total"] + newest.sums["mpi_collectives_total"]
+		if total > 0 {
+			e.ever = true
+		}
+		sig := Signal{Name: "heartbeat", Status: Pass, Value: progress / elapsed}
+		if e.ever && progress == 0 {
+			sig.Status = Warn
+			sig.Cause = fmt.Sprintf("no MPI progress for %.1fs (run finished or stalled)", elapsed)
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
+	for _, s := range rep.Signals {
+		if s.Status > rep.Status {
+			rep.Status = s.Status
+		}
+	}
+	return rep
+}
+
+// Report evaluates the current window without taking a new sample.
+func (e *Engine) Report() Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evaluateLocked()
+}
+
+// Start begins sampling on a wall-clock ticker until Stop.
+func (e *Engine) Start(opts Options) {
+	iv := opts.Interval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(iv)
+		defer t.Stop()
+		start := time.Now()
+		e.Tick(0)
+		for {
+			select {
+			case <-e.stop:
+				return
+			case now := <-t.C:
+				e.Tick(now.Sub(start).Seconds())
+			}
+		}
+	}()
+}
+
+// Stop halts the Start ticker (safe to call without Start, and more
+// than once).
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+}
+
+// Handler serves the engine:
+//
+//	GET /healthz  compact report; HTTP 200 for pass/warn, 503 for fail
+//	GET /health   the report plus the retained sample window
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		rep := e.Report()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if rep.Status == Fail {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		rep := e.Report()
+		e.mu.Lock()
+		hist := make([]map[string]any, 0, len(e.samples))
+		for _, s := range e.samples {
+			names := make([]string, 0, len(s.sums))
+			for n := range s.sums {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			sums := make(map[string]float64, len(names))
+			for _, n := range names {
+				sums[n] = s.sums[n]
+			}
+			hist = append(hist, map[string]any{"at": s.at, "sums": sums, "gauges": s.maxes})
+		}
+		e.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"report": rep, "samples": hist})
+	})
+	return mux
+}
+
+// RegisterHTTP attaches /healthz and /health to every future
+// telemetry.Serve mux.
+func (e *Engine) RegisterHTTP() {
+	h := e.Handler()
+	telemetry.RegisterHandler("/healthz", h)
+	telemetry.RegisterHandler("/health", h)
+}

@@ -1,0 +1,224 @@
+package health
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"pjds/internal/telemetry"
+)
+
+func signal(rep Report, name string) *Signal {
+	for i := range rep.Signals {
+		if rep.Signals[i].Name == name {
+			return &rep.Signals[i]
+		}
+	}
+	return nil
+}
+
+func TestPassFailPassAcrossFaultWindow(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 3})
+
+	if rep := e.Tick(0); rep.Status != Pass {
+		t.Fatalf("warming-up status = %v, want pass", rep.Status)
+	}
+	if rep := e.Tick(1); rep.Status != Pass {
+		t.Fatalf("steady status = %v, want pass", rep.Status)
+	}
+
+	// The injected rank failure lands between samples.
+	reg.Counter("mpi_rank_crashes_total").Inc()
+	rep := e.Tick(2)
+	if rep.Status != Fail {
+		t.Fatalf("post-crash status = %v, want fail", rep.Status)
+	}
+	if s := signal(rep, "failures"); s == nil || s.Status != Fail || s.Cause == "" {
+		t.Fatalf("failures signal = %+v, want fail with cause", s)
+	}
+
+	// Counter stays flat; once the jump slides out of the 3-sample
+	// window the status recovers.
+	if rep := e.Tick(3); rep.Status != Fail {
+		t.Fatalf("window still spans crash, status = %v, want fail", rep.Status)
+	}
+	if rep := e.Tick(4); rep.Status != Pass {
+		t.Fatalf("recovered status = %v, want pass", rep.Status)
+	}
+}
+
+func TestOverlapEfficiencyWarns(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	e.Tick(0)
+	// 1s of kernels vs 3s of exposed wait → 25% efficiency.
+	reg.Counter("gpu_kernel_seconds_total").Add(1)
+	reg.Counter("mpi_recv_wait_seconds_total").Add(3)
+	rep := e.Tick(1)
+	s := signal(rep, "overlap_efficiency")
+	if s == nil || s.Status != Warn {
+		t.Fatalf("overlap signal = %+v, want warn", s)
+	}
+	if math.Abs(s.Value-0.25) > 1e-9 {
+		t.Fatalf("overlap efficiency = %g, want 0.25", s.Value)
+	}
+}
+
+func TestGPUThroughputPerRank(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	e.Tick(0)
+	reg.Counter("gpu_kernel_bytes_total", telemetry.L("rank", "0")).Add(2e9)
+	reg.Counter("gpu_kernel_bytes_total", telemetry.L("rank", "1")).Add(4e9)
+	rep := e.Tick(2)
+	s := signal(rep, "gpu_throughput")
+	if s == nil {
+		t.Fatal("no gpu_throughput signal")
+	}
+	if math.Abs(s.Value-3.0) > 1e-9 { // 6 GB over 2 s
+		t.Fatalf("aggregate GB/s = %g, want 3", s.Value)
+	}
+	if math.Abs(s.PerRank["0"]-1.0) > 1e-9 || math.Abs(s.PerRank["1"]-2.0) > 1e-9 {
+		t.Fatalf("per-rank GB/s = %v, want {0:1, 1:2}", s.PerRank)
+	}
+}
+
+func TestResidualDivergenceFails(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	reg.Gauge("solver_residual").Set(1e-3)
+	reg.Gauge("solver_iterations").Set(10)
+	e.Tick(0)
+	reg.Gauge("solver_residual").Set(math.NaN())
+	reg.Gauge("solver_iterations").Set(20)
+	rep := e.Tick(1)
+	s := signal(rep, "residual_stall")
+	if s == nil || s.Status != Fail {
+		t.Fatalf("residual signal = %+v, want fail on non-finite residual", s)
+	}
+}
+
+func TestResidualStallWarns(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	reg.Gauge("solver_residual").Set(1e-3)
+	reg.Gauge("solver_iterations").Set(10)
+	e.Tick(0)
+	reg.Gauge("solver_iterations").Set(30)
+	rep := e.Tick(1) // residual unchanged while iterations advance
+	s := signal(rep, "residual_stall")
+	if s == nil || s.Status != Warn {
+		t.Fatalf("residual signal = %+v, want warn on stall", s)
+	}
+}
+
+func TestHeartbeatSilenceWarnsButNeverFails(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 3})
+	e.Tick(0)
+	reg.Counter("mpi_sends_total").Add(5)
+	if rep := e.Tick(1); signal(rep, "heartbeat").Status != Pass {
+		t.Fatal("active heartbeat should pass")
+	}
+	// Traffic stops entirely; after the window slides past the burst
+	// the silence is a Warn — never a Fail, so a finished run idling
+	// behind -hold keeps serving 200.
+	e.Tick(2)
+	rep := e.Tick(3)
+	s := signal(rep, "heartbeat")
+	if s.Status != Warn {
+		t.Fatalf("silent heartbeat = %v, want warn", s.Status)
+	}
+	if rep.Status == Fail {
+		t.Fatal("heartbeat silence must not fail the run")
+	}
+}
+
+func TestFaultsWarn(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	e.Tick(0)
+	reg.Counter("simnet_faults_injected_total", telemetry.L("kind", "drop")).Inc()
+	reg.Counter("distsolver_rollbacks_total").Inc()
+	rep := e.Tick(1)
+	s := signal(rep, "faults")
+	if s == nil || s.Status != Warn || s.Value != 2 {
+		t.Fatalf("faults signal = %+v, want warn with value 2", s)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 3})
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	e.Tick(0)
+	e.Tick(1)
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthy /healthz = %d, want 200", resp.StatusCode)
+	}
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	reg.Counter("mpi_rank_crashes_total").Inc()
+	e.Tick(2)
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("failing /healthz = %d, want 503", resp.StatusCode)
+	}
+
+	e.Tick(3)
+	e.Tick(4)
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("recovered /healthz = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Report  Report           `json:"report"`
+		Samples []map[string]any `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding /health: %v", err)
+	}
+	if len(doc.Samples) != 3 {
+		t.Fatalf("/health retained %d samples, want window of 3", len(doc.Samples))
+	}
+}
+
+func TestStatusUnmarshalRoundTrip(t *testing.T) {
+	b, err := json.Marshal(Report{Status: Warn, Signals: []Signal{{Name: "x", Status: Fail}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "warn" {
+		t.Fatalf("status marshals as %v, want \"warn\"", doc["status"])
+	}
+}

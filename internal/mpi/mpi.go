@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"sync"
 
+	"pjds/internal/flight"
 	"pjds/internal/simnet"
 	"pjds/internal/telemetry"
 )
@@ -298,6 +299,7 @@ func (c *Comm) Crash() error {
 	c.world.markDead(c.rank, c.clock)
 	c.count("mpi_rank_crashes_total", 1)
 	c.span(SpanCrash, c.clock, c.clock, map[string]string{ArgFailedAt: fmtTime(c.clock)})
+	flight.Record(flight.Error, "mpi.rank_crash", c.rank, c.clock, "rank killed by injected fault", 0)
 	return &RankFailedError{Rank: c.rank, FailedAt: c.clock, DetectedBy: -1, DetectedAt: c.clock}
 }
 
@@ -327,16 +329,16 @@ const (
 	SpanCrash  = "crash"
 	// Args attached to the spans above. Times are virtual seconds in
 	// strconv 'g'/-1 form (exact float64 round trip).
-	ArgPeer     = "peer"     // the other rank of a point-to-point message
-	ArgTag      = "tag"      // message tag
-	ArgBytes    = "bytes"    // modelled wire size
-	ArgSent     = "sent"     // injection start (SentAt)
-	ArgArrives  = "arrives"  // arrival time at the destination
-	ArgFabric   = "fabric"   // fabric carrying the message
-	ArgOp       = "op"       // collective kind
-	ArgRoot     = "root"     // collective straggler: the rank that set maxClock
-	ArgGen      = "gen"      // rendezvous generation, one id per collective instance
-	ArgAttempts = "attempts" // lost transmission attempts behind a retry span
+	ArgPeer     = "peer"      // the other rank of a point-to-point message
+	ArgTag      = "tag"       // message tag
+	ArgBytes    = "bytes"     // modelled wire size
+	ArgSent     = "sent"      // injection start (SentAt)
+	ArgArrives  = "arrives"   // arrival time at the destination
+	ArgFabric   = "fabric"    // fabric carrying the message
+	ArgOp       = "op"        // collective kind
+	ArgRoot     = "root"      // collective straggler: the rank that set maxClock
+	ArgGen      = "gen"       // rendezvous generation, one id per collective instance
+	ArgAttempts = "attempts"  // lost transmission attempts behind a retry span
 	ArgFailedAt = "failed_at" // virtual death time behind a detect/crash span
 )
 
@@ -385,6 +387,7 @@ func (c *Comm) detectFailure(pf *simnet.PeerFailedError, blockedSince float64) *
 	detected := math.Max(c.clock, pf.FailedAt+c.world.hb)
 	c.clock = detected
 	c.count("mpi_failures_detected_total", 1)
+	flight.Record(flight.Error, "mpi.rank_failed", c.rank, detected, "heartbeat detector observed peer death", float64(pf.Rank))
 	c.span(SpanDetect, blockedSince, detected, map[string]string{
 		ArgPeer:     strconv.Itoa(pf.Rank),
 		ArgFailedAt: fmtTime(pf.FailedAt),
@@ -495,6 +498,7 @@ func (r *Request) Wait() error {
 			c.count("mpi_retries_total", float64(pol.MaxRetries))
 			c.count("mpi_retry_wait_seconds_total", charged)
 			c.count("mpi_retries_exhausted_total", 1)
+			flight.Record(flight.Error, "mpi.retries_exhausted", c.rank, c.clock, "receive failed after retry budget", float64(lost))
 			c.span(SpanRetry, base, c.clock, map[string]string{
 				ArgPeer:     strconv.Itoa(m.Src),
 				ArgTag:      strconv.Itoa(m.Tag),

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pjds/internal/flight"
 	"pjds/internal/telemetry"
 )
 
@@ -302,6 +303,20 @@ func (s *Switch) Send(src, dst, tag int, payload any, bytes int64, sentAt float6
 			if fault.BandwidthFactor > 1 {
 				reg.Counter("simnet_faults_injected_total", append(flbl, telemetry.L("kind", "degrade"))...).Inc()
 			}
+		}
+	}
+	if !fault.IsZero() {
+		if fault.DropAttempts > 0 {
+			flight.Record(flight.Warn, "simnet.fault.drop", src, sentAt, "transmission attempts lost on the wire", float64(fault.DropAttempts))
+		}
+		if fault.ExtraDelaySeconds > 0 {
+			flight.Record(flight.Warn, "simnet.fault.delay", src, sentAt, "message delayed on the wire", fault.ExtraDelaySeconds)
+		}
+		if fault.Duplicate {
+			flight.Record(flight.Warn, "simnet.fault.duplicate", src, sentAt, "spurious duplicate injected", 1)
+		}
+		if fault.BandwidthFactor > 1 {
+			flight.Record(flight.Warn, "simnet.fault.degrade", src, sentAt, "link bandwidth degraded", fault.BandwidthFactor)
 		}
 	}
 	s.boxes[link].put(m)

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"pjds/internal/core"
+	"pjds/internal/flight"
 	"pjds/internal/gpu"
 	"pjds/internal/matrix"
 )
@@ -62,6 +63,7 @@ func (o *DevicePJDS) Apply(y, x []float64) error {
 		if errors.As(err, &ecc) {
 			o.Degraded = true
 			o.DegradedAt = o.Applies
+			flight.Record(flight.Error, "solver.device_degrade", -1, 0, "device operator latched host fallback after ECC error", float64(o.Applies))
 		} else if err != nil {
 			return err
 		} else {

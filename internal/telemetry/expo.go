@@ -173,6 +173,28 @@ func labelMap(labels []Label) map[string]string {
 	return m
 }
 
+// escapeHelp escapes a HELP docstring per the Prometheus text
+// exposition rules: backslash and newline would otherwise break the
+// line-oriented format, so they become \\ and \n.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
 // formatValue renders a sample value the way Prometheus does.
 func formatValue(v float64) string {
 	switch {
@@ -200,7 +222,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, s := range snap {
 		if s.Name != lastName {
 			if h, ok := help[s.Name]; ok {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, h); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(h)); err != nil {
 					return err
 				}
 			}

@@ -5,6 +5,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 )
 
 // Handler returns an http.Handler serving this registry:
@@ -24,18 +26,65 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
+// extraHandlers are the process-wide routes other observability
+// subsystems (internal/flight /spans, internal/health /healthz)
+// contribute to every future Serve mux, registered before Serve is
+// called so the cmd wiring stays one flag check per subsystem.
+var (
+	extraMu       sync.Mutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// RegisterHandler contributes a route to every subsequently started
+// Serve endpoint (a nil handler removes the route). Core routes
+// (/metrics, /debug/...) cannot be overridden.
+func RegisterHandler(pattern string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	if h == nil {
+		delete(extraHandlers, pattern)
+		return
+	}
+	extraHandlers[pattern] = h
+}
+
+// registeredPatterns lists the contributed routes, sorted (shown on
+// the dashboard's endpoint list).
+func registeredPatterns() []string {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	out := make([]string, 0, len(extraHandlers))
+	for p := range extraHandlers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // serveMux builds the full introspection mux used by Serve: the
-// registry endpoints plus expvar and pprof.
+// registry endpoints, the live dashboard, any registered extra
+// handlers, plus expvar and pprof.
 func serveMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/metrics.json", r.Handler())
+	h := r.Handler()
+	mux.Handle("/metrics", h)
+	mux.Handle("/metrics.json", h)
+	mux.Handle("/dashboard", DashboardHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraMu.Lock()
+	for pattern, eh := range extraHandlers {
+		switch pattern {
+		case "/metrics", "/metrics.json", "/dashboard", "/debug/vars":
+			continue
+		}
+		mux.Handle(pattern, eh)
+	}
+	extraMu.Unlock()
 	return mux
 }
 
@@ -55,11 +104,14 @@ func (s *Server) Close() error { return s.srv.Close() }
 // solver runs live:
 //
 //	/metrics, /metrics.json  the registry (see Handler)
+//	/dashboard               self-contained auto-refreshing HTML view
 //	/debug/vars              expvar
 //	/debug/pprof/...         net/http/pprof
 //
-// It returns once the listener is bound; serving continues in the
-// background until Close.
+// plus any routes contributed via RegisterHandler (e.g. /spans when
+// the flight recorder is enabled, /healthz when the health engine
+// runs). It returns once the listener is bound; serving continues in
+// the background until Close.
 func Serve(addr string, r *Registry) (*Server, error) {
 	mux := serveMux(r)
 	ln, err := net.Listen("tcp", addr)

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Span is one named interval of virtual time on one lane of one
@@ -19,6 +20,24 @@ type Span struct {
 	// (iteration numbers, modes, formats). encoding/json sorts map
 	// keys, so Args do not threaten determinism.
 	Args map[string]string
+}
+
+// spanMirror is the process-wide span tap: when set (by the
+// internal/flight recorder), every SpanLog.Add is also handed to it,
+// so an always-on ring buffer can keep a recent window of whatever
+// any simulation layer records, without threading a recorder through
+// every Options struct. The cost when disabled is one atomic load.
+var spanMirror atomic.Pointer[func(Span)]
+
+// SetSpanMirror installs fn as the process-wide span tap (nil clears
+// it). fn must be safe for concurrent use and must not call back into
+// the SpanLog it is observing.
+func SetSpanMirror(fn func(Span)) {
+	if fn == nil {
+		spanMirror.Store(nil)
+		return
+	}
+	spanMirror.Store(&fn)
 }
 
 // SpanLog collects spans from concurrent rank goroutines. Insertion
@@ -44,6 +63,9 @@ func (l *SpanLog) Add(s Span) {
 	}
 	if s.End < s.Start {
 		s.End = s.Start
+	}
+	if fn := spanMirror.Load(); fn != nil {
+		(*fn)(s)
 	}
 	l.mu.Lock()
 	l.spans = append(l.spans, s)

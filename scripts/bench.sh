@@ -34,11 +34,21 @@
 # iteration count) to BENCH_PR5.json (schema pjds-convert/v1),
 # comparable across checkouts with scripts/regress.sh.
 #
+# pr6 mode: the instrumentation hot path. Benchmarks Counter.Inc,
+# Histogram.Observe and the flight-recorder record/span/disabled-hook
+# paths with -benchmem and HARD-FAILS if any of them allocates in
+# steady state — the recorder is designed to be left always-on, so
+# 0 allocs/op is an acceptance criterion, not a nice-to-have. ns/op
+# and allocs/op land in BENCH_PR6.json (schema pjds-bench-pr6/v1),
+# comparable across checkouts with scripts/regress.sh (allocs are
+# exact; give ns_per_op a wider band, e.g. ns_per_op=0.3).
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
 #        scripts/bench.sh pr3 [scale]
 #        scripts/bench.sh pr4 [seed]
 #        scripts/bench.sh pr5 [scale]
+#        scripts/bench.sh pr6
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -60,6 +70,10 @@ pr5)
     MODE=pr5
     shift
     ;;
+pr6)
+    MODE=pr6
+    shift
+    ;;
 esac
 SCALE="${1:-0.05}"
 
@@ -70,6 +84,39 @@ if [ "$MODE" = pr4 ]; then
     go run ./cmd/chaos -seed "$SEED" -scenarios baseline,drop1pct,crash -skip-modes \
         -json -o BENCH_PR4.json
     echo "wrote BENCH_PR4.json (gate with scripts/regress.sh OLD NEW)"
+    exit 0
+fi
+
+if [ "$MODE" = pr6 ]; then
+    echo "== instrumentation hot-path benchmarks (-benchmem, 0 allocs/op gate) =="
+    OUT=$(go test -run '^$' \
+        -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve' \
+        -benchmem ./internal/telemetry/
+    go test -run '^$' \
+        -bench 'BenchmarkFlightEvent|BenchmarkFlightSpan|BenchmarkRecordDisabled' \
+        -benchmem ./internal/flight/)
+    echo "$OUT"
+    echo "$OUT" | awk '
+        BEGIN { n = 0; bad = 0 }
+        $1 ~ /^Benchmark/ && $(NF) == "allocs/op" {
+            name = $1
+            sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+            names[n] = name; ns[n] = $3; allocs[n] = $(NF-1); n++
+            if ($(NF-1) + 0 != 0) {
+                printf "FAIL: %s allocates %s allocs/op on the hot path\n", name, $(NF-1) > "/dev/stderr"
+                bad = 1
+            }
+        }
+        END {
+            printf "{\n  \"schema\": \"pjds-bench-pr6/v1\",\n"
+            printf "  \"benchmarks\": [\n"
+            for (i = 0; i < n; i++)
+                printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+                    names[i], ns[i], allocs[i], (i < n-1 ? "," : "")
+            printf "  ]\n}\n"
+            exit bad
+        }' >BENCH_PR6.json
+    echo "wrote BENCH_PR6.json (gate with scripts/regress.sh OLD NEW 0.02 ns_per_op=0.3)"
     exit 0
 fi
 

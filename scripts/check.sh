@@ -6,7 +6,11 @@
 # tests exercise Workers>1 and concurrent plan-cache lookups — and the
 # parallel ingest-and-convert pipeline), a seeded chaos smoke scenario,
 # and a conversion determinism smoke (matinfo at 1 vs 4 workers must
-# produce byte-identical output).
+# produce byte-identical output). The chaos smoke also verifies the
+# flight recorder dumps a perfreport-readable incident trace on the
+# injected crash, and an endpoint smoke asserts a held scaling run
+# serves /metrics, /healthz, /spans, /health and /dashboard with
+# non-empty 200 bodies and that spmvtop renders a frame against it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,9 +27,12 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
+# telemetry includes the scrape-while-write hammer; flight the
+# concurrent ring record/snapshot test.
 go test -race ./internal/telemetry/... ./internal/simnet/... \
     ./internal/mpi/... ./internal/distmv/... \
-    ./internal/faults/... ./internal/distsolver/...
+    ./internal/faults/... ./internal/distsolver/... \
+    ./internal/flight/... ./internal/health/...
 
 echo "== go test -race (gpu worker pool, Workers>1) =="
 go test -race ./internal/gpu/...
@@ -48,8 +55,54 @@ cmp "$TMP/out1" "$TMP/out4"
 echo "== chaos smoke (1 dropped message + 1 rank crash, seed 42) =="
 # Injects one message drop and one mid-solve rank crash into the
 # recoverable distributed CG; the run must recover, stay bit-identical
-# to the fault-free solve, and reproduce under the same seed.
-go run ./cmd/chaos -smoke
+# to the fault-free solve, and reproduce under the same seed. The
+# flight recorder rides along: the injected crash must trigger a
+# post-incident dump that perfreport -trace-in can analyze.
+go run ./cmd/chaos -smoke -flight-dump "$TMP/incident.json"
+test -s "$TMP/incident.json" || {
+    echo "chaos crash did not trigger a flight-recorder dump" >&2
+    exit 1
+}
+go run ./cmd/perfreport -trace-in "$TMP/incident.json" >/dev/null
+
+echo "== live endpoint smoke (scaling -metrics-addr, spmvtop) =="
+# A held scaling run must serve every observability endpoint with a
+# non-empty 200 body, and spmvtop must render a live frame against it.
+go build -o "$TMP/bin/" ./cmd/scaling ./cmd/spmvtop
+"$TMP/bin/scaling" -matrix DLR1 -scale 0.02 -nodes 2 -iters 1 \
+    -metrics-addr 127.0.0.1:0 -flight -hold 60s >"$TMP/scaling.out" 2>&1 &
+SCALING_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's|^metrics on http://\([^/]*\)/metrics$|\1|p' "$TMP/scaling.out")
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+    echo "scaling never bound its metrics endpoint:" >&2
+    cat "$TMP/scaling.out" >&2
+    kill "$SCALING_PID" 2>/dev/null || true
+    exit 1
+fi
+for p in /metrics /metrics.json /healthz /spans /health /dashboard; do
+    CODE=$(curl -s -o "$TMP/body" -w '%{http_code}' "http://$ADDR$p")
+    if [ "$CODE" != 200 ] || ! [ -s "$TMP/body" ]; then
+        echo "GET $p returned HTTP $CODE ($(wc -c <"$TMP/body") bytes), want non-empty 200" >&2
+        kill "$SCALING_PID" 2>/dev/null || true
+        exit 1
+    fi
+done
+"$TMP/bin/spmvtop" -addr "$ADDR" -once >"$TMP/spmvtop.out"
+grep -q "per-rank utilization" "$TMP/spmvtop.out" || {
+    echo "spmvtop -once did not render the live view:" >&2
+    cat "$TMP/spmvtop.out" >&2
+    kill "$SCALING_PID" 2>/dev/null || true
+    exit 1
+}
+kill "$SCALING_PID" 2>/dev/null || true
+wait "$SCALING_PID" 2>/dev/null || true
 
 echo "== regression-gate self-diff (perfreport) =="
 # The simulator is deterministic, so two identical runs must produce
