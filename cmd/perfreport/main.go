@@ -25,6 +25,11 @@
 //	    CSR assembly, pJDS/ELLPACK-R construction, partitioning) at 1
 //	    worker and at -workers, and report the conversion cost in
 //	    seconds and in modeled spMVM-equivalents (§II-C amortization).
+//
+//	perfreport -host [-matrix sAMG] [-scale 0.1] [-iters 5]
+//	    measure every CPU host kernel (naive, blocked, sell) on this
+//	    machine and report GFLOP/s and effective GB/s next to the
+//	    Eq. 1 model prediction and the Westmere CRS baseline.
 package main
 
 import (
@@ -41,12 +46,15 @@ import (
 
 	"pjds/internal/convert"
 	"pjds/internal/core"
+	"pjds/internal/cpu"
 	"pjds/internal/critpath"
 	"pjds/internal/distmv"
 	"pjds/internal/experiments"
 	"pjds/internal/formats"
 	"pjds/internal/gpu"
+	"pjds/internal/hostkernel"
 	"pjds/internal/matrix"
+	"pjds/internal/perfmodel"
 	"pjds/internal/telemetry"
 	"pjds/internal/trace"
 )
@@ -74,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		traceIn   = fs.String("trace-in", "", "analyze this Chrome trace artifact instead of running a scenario")
 		metricsIn = fs.String("metrics-in", "", "JSON metrics snapshot accompanying -trace-in (optional)")
 		convMode  = fs.Bool("convert", false, "measure the ingest-and-convert pipeline instead of the spMVM")
+		hostMode  = fs.Bool("host", false, "measure the CPU host kernels on this machine instead of the simulated cluster")
 		workers   = fs.Int("workers", 4, "parallel worker count for -convert")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
 		outFile   = fs.String("o", "", "write the report to this file instead of stdout")
@@ -99,6 +108,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *convMode {
 		if err := runConvertReport(w, *matrixArg, *scale, *ranks, *workers, *jsonOut); err != nil {
+			return err
+		}
+		if *outFile != "" {
+			fmt.Fprintf(out, "wrote %s\n", *outFile)
+		}
+		return nil
+	}
+	if *hostMode {
+		if err := runHostReport(w, *matrixArg, *scale, *iters, *jsonOut); err != nil {
 			return err
 		}
 		if *outFile != "" {
@@ -280,6 +298,92 @@ func runConvertReport(w io.Writer, matrixName string, scale float64, ranks, work
 		fmt.Fprintf(w, "break-even vs ELLPACK-R: %.0f spMVMs\n", am.BreakEvenSpMVMs)
 	}
 	return nil
+}
+
+// runHostReport measures every host kernel on one matrix and prints
+// the measured GFLOP/s and effective GB/s (at Eq. 1 minimal traffic)
+// next to the Eq. 1 code balance and the Westmere CRS model — real
+// host numbers for the same quantities the health engine and
+// telemetry track as host_kernel_gflops / host_kernel_bytes_total.
+func runHostReport(w io.Writer, matrixName string, scale float64, iters int, jsonOut bool) error {
+	type hostEntry struct {
+		Kernel       string  `json:"kernel"`
+		NsPerNnz     float64 `json:"nsPerNnz"`
+		GFlops       float64 `json:"gflops"`
+		BandwidthGBs float64 `json:"bandwidthGBs"`
+		Digest       string  `json:"digest"`
+	}
+	var entries []hostEntry
+	var ref *experiments.HostBenchRow
+	for _, kind := range hostkernel.Kinds() {
+		res, err := experiments.RunHostBench(kind, []string{matrixName}, scale, iters, 0, io.Discard)
+		if err != nil {
+			return err
+		}
+		r := res.Rows[0]
+		if ref == nil {
+			ref = &r
+		}
+		entries = append(entries, hostEntry{
+			Kernel:       r.Kernel,
+			NsPerNnz:     r.NsPerNnz,
+			GFlops:       r.GFlops,
+			BandwidthGBs: r.GBs,
+			Digest:       r.Digest,
+		})
+	}
+	m, err := experiments.Matrix(matrixName, scale)
+	if err != nil {
+		return err
+	}
+	nnzr := m.AvgRowLen()
+	cbIdeal := perfmodel.CodeBalanceDP(perfmodel.AlphaIdeal(nnzr), nnzr)
+	west, err := cpu.WestmereEP().EstimateCRS(m)
+	if err != nil {
+		return err
+	}
+	experiments.DropCached(matrixName, scale)
+
+	if jsonOut {
+		doc := map[string]any{
+			"schema":                "pjds-host/v1",
+			"matrix":                matrixName,
+			"scale":                 scale,
+			"iters":                 iters,
+			"kernels":               entries,
+			"code_balance_dp_ideal": cbIdeal,
+			"westmere_model_gflops": west.GFlops,
+			"westmere_model_alpha":  west.Alpha,
+			"digests_match":         allDigestsEqual(entries, func(e hostEntry) string { return e.Digest }),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Fprintf(w, "host kernels: %s scale %g, %d iters (wall-clock on this machine)\n\n", matrixName, scale, iters)
+	fmt.Fprintf(w, "%-10s %10s %10s %14s\n", "kernel", "ns/nnz", "GFLOP/s", "GB/s (Eq.1)")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-10s %10.2f %10.2f %14.2f\n", e.Kernel, e.NsPerNnz, e.GFlops, e.BandwidthGBs)
+	}
+	fmt.Fprintf(w, "\nEq. 1 code balance (DP, ideal alpha): %.2f B/flop\n", cbIdeal)
+	fmt.Fprintf(w, "Westmere CRS model: %.2f GF/s at alpha %.2f (Table I baseline)\n", west.GFlops, west.Alpha)
+	if allDigestsEqual(entries, func(e hostEntry) string { return e.Digest }) {
+		fmt.Fprintf(w, "result digests: identical across kernels\n")
+	} else {
+		fmt.Fprintf(w, "result digests: MISMATCH — kernels disagree\n")
+	}
+	return nil
+}
+
+// allDigestsEqual reports whether every entry carries the same digest.
+func allDigestsEqual[T any](entries []T, digest func(T) string) bool {
+	for i := 1; i < len(entries); i++ {
+		if digest(entries[i]) != digest(entries[0]) {
+			return false
+		}
+	}
+	return true
 }
 
 // parseModes resolves a comma-separated slug list (empty = all).

@@ -41,6 +41,7 @@ import (
 	"pjds/internal/flight"
 	"pjds/internal/gpu"
 	"pjds/internal/health"
+	"pjds/internal/hostkernel"
 	"pjds/internal/mpi"
 	"pjds/internal/par"
 	"pjds/internal/simnet"
@@ -77,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /dashboard, /debug/vars and /debug/pprof on this address during the run")
 		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel and format conversion (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		hostKernel = fs.String("host-kernel", string(hostkernel.KindBlocked), "CPU kernel for host-side spMVM paths: naive, blocked, sell; results are identical for any value")
 		flightOn   = fs.Bool("flight", false, "enable the always-on flight recorder (/spans on -metrics-addr)")
 		flightDump = fs.String("flight-dump", "", "write a post-incident trace here when a severe event fires (implies -flight)")
 		hold       = fs.Duration("hold", 0, "keep the -metrics-addr endpoint serving this long after the run (live dashboards)")
@@ -86,6 +88,11 @@ func run(args []string, out io.Writer) error {
 	}
 	gpu.SetDefaultWorkers(*workers)
 	par.SetDefault(*workers)
+	kind, err := hostkernel.ParseKind(*hostKernel)
+	if err != nil {
+		return err
+	}
+	hostkernel.SetDefaultKind(kind)
 	if *traceOut == "" {
 		*traceOut = *traceAlias
 	}

@@ -10,6 +10,7 @@
 //	spmvbench -fig2 -matrix sAMG [-scale 0.1]
 //	spmvbench -outlook [-scale 0.1]
 //	spmvbench -ablations [-matrix sAMG] [-scale 0.05]
+//	spmvbench -hostbench [-host-kernel blocked] [-host-iters 5] [-scale 0.1]
 //
 // Observability: -json writes the Table I measurements as a
 // machine-readable benchmark file, -metrics-out dumps the process-wide
@@ -30,6 +31,7 @@ import (
 	"pjds/internal/flight"
 	"pjds/internal/gpu"
 	"pjds/internal/health"
+	"pjds/internal/hostkernel"
 	"pjds/internal/par"
 	"pjds/internal/telemetry"
 )
@@ -51,6 +53,9 @@ func run(args []string, out io.Writer) error {
 		ablations  = fs.Bool("ablations", false, "run the DESIGN.md format/model ablations")
 		outlook    = fs.Bool("outlook", false, "run the §IV outlook format comparison (pJDS vs sliced ELLPACK/ELLR-T/BELLPACK/CSR)")
 		matrixArg  = fs.String("matrix", "sAMG", "matrix for -fig2/-ablations: DLR1, DLR2, HMEp, sAMG, UHBR")
+		hostBench  = fs.Bool("hostbench", false, "benchmark the CPU host kernels on the Table I matrices (wall-clock on this machine)")
+		hostKernel = fs.String("host-kernel", string(hostkernel.KindBlocked), "host kernel for -hostbench and the process default: naive, blocked, sell")
+		hostIters  = fs.Int("host-iters", 5, "timed applications per matrix for -hostbench")
 		jsonOut    = fs.String("json", "", "write the Table I measurements as machine-readable JSON to this file (implies -table1)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /dashboard, /debug/vars and /debug/pprof on this address during the run")
@@ -65,6 +70,11 @@ func run(args []string, out io.Writer) error {
 	}
 	gpu.SetDefaultWorkers(*workers)
 	par.SetDefault(*workers)
+	kind, err := hostkernel.ParseKind(*hostKernel)
+	if err != nil {
+		return err
+	}
+	hostkernel.SetDefaultKind(kind)
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -95,7 +105,7 @@ func run(args []string, out io.Writer) error {
 	if *jsonOut != "" {
 		*table1 = true
 	}
-	if !*table1 && !*fig2 && !*ablations && !*outlook {
+	if !*table1 && !*fig2 && !*ablations && !*outlook && !*hostBench {
 		*table1 = true
 	}
 	if *flightOn || *flightDump != "" {
@@ -142,6 +152,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *outlook {
 		if _, err := experiments.RunFormatComparison(*scale, out); err != nil {
+			return err
+		}
+	}
+	if *hostBench {
+		if _, err := experiments.RunHostBench(kind, nil, *scale, *hostIters, *workers, out); err != nil {
 			return err
 		}
 	}

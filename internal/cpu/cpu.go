@@ -9,8 +9,8 @@ package cpu
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
+	"pjds/internal/hostkernel"
 	"pjds/internal/matrix"
 )
 
@@ -95,7 +95,11 @@ func (n *Node) EstimateCRS(m *matrix.CSR[float64]) (Stats, error) {
 
 // MulVecParallel computes y = A·x with one worker per core (capped at
 // GOMAXPROCS), splitting rows into contiguous chunks balanced by
-// non-zero count.
+// non-zero count. The multiplication itself runs on the blocked
+// hostkernel CRS kernel, so the baseline gets the same bounds-check-
+// free lockstep inner loop (and telemetry, when a kernel is held
+// long-term) as every other host path; results stay bit-identical to
+// the naive per-row reference at any worker count.
 func (n *Node) MulVecParallel(m *matrix.CSR[float64], y, x []float64) error {
 	if len(x) != m.NCols || len(y) != m.NRows {
 		return fmt.Errorf("cpu: MulVecParallel |x|=%d |y|=%d on %dx%d: %w", len(x), len(y), m.NRows, m.NCols, matrix.ErrShape)
@@ -107,44 +111,18 @@ func (n *Node) MulVecParallel(m *matrix.CSR[float64], y, x []float64) error {
 	if workers < 1 {
 		workers = 1
 	}
-	bounds := nnzBalancedChunks(m, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < len(bounds)-1; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				var sum float64
-				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-					sum += m.Val[k] * x[m.ColIdx[k]]
-				}
-				y[i] = sum
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return nil
+	k := hostkernel.NewBlockedCRS(m, hostkernel.Options{Workers: workers})
+	defer k.Close()
+	return k.MulVec(y, x)
 }
 
 // nnzBalancedChunks returns workers+1 row boundaries splitting the
-// matrix into chunks of roughly equal non-zero count.
+// matrix into chunks of roughly equal non-zero count. It is the
+// shared schedule of every host-side parallel path: hostkernel.Chunks
+// owns the algorithm (including the degenerate cases: workers < 1,
+// workers > rows, empty tail rows, all non-zeros in one row).
 func nnzBalancedChunks(m *matrix.CSR[float64], workers int) []int {
-	bounds := make([]int, workers+1)
-	total := m.Nnz()
-	row := 0
-	for w := 1; w < workers; w++ {
-		target := total * w / workers
-		for row < m.NRows && m.RowPtr[row] < target {
-			row++
-		}
-		bounds[w] = row
-	}
-	bounds[workers] = m.NRows
-	return bounds
+	return hostkernel.Chunks(m.RowPtr, workers)
 }
 
 // directLRU is a minimal set-associative LRU cache for the RHS reuse

@@ -177,7 +177,7 @@ func direction(leaf string) int {
 			return +1
 		}
 	}
-	for _, k := range []string{"seconds", "_ns", "latency", "balance", "deviation", "penalty", "wire", "idle", "imbalance"} {
+	for _, k := range []string{"seconds", "_ns", "ns_per", "latency", "balance", "deviation", "penalty", "wire", "idle", "imbalance", "allocs"} {
 		if strings.Contains(l, k) {
 			return -1
 		}

@@ -40,6 +40,32 @@ func TestDiffDirections(t *testing.T) {
 	}
 }
 
+// TestDiffBenchmarkMetricDirections: the host-kernel benchmark
+// artifacts carry ns_per_op/ns_per_nnz (lower is better) and
+// allocs_per_op (lower is better, and any growth from 0 is a
+// regression).
+func TestDiffBenchmarkMetricDirections(t *testing.T) {
+	oldDoc := []byte(`{"ns_per_op":100,"ns_per_nnz":1.5,"allocs_per_op":2}`)
+	newDoc := []byte(`{"ns_per_op":120,"ns_per_nnz":1.2,"allocs_per_op":0}`)
+	findings, err := Diff(oldDoc, newDoc, DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, f := range findings {
+		got[f.Path] = f.Verdict
+	}
+	if got["ns_per_op"] != DiffRegression {
+		t.Errorf("ns_per_op verdict %q", got["ns_per_op"])
+	}
+	if got["ns_per_nnz"] != DiffImprovement {
+		t.Errorf("ns_per_nnz verdict %q", got["ns_per_nnz"])
+	}
+	if got["allocs_per_op"] != DiffImprovement {
+		t.Errorf("allocs_per_op verdict %q", got["allocs_per_op"])
+	}
+}
+
 func TestDiffToleranceBands(t *testing.T) {
 	oldDoc := []byte(`{"gflops":100,"seconds":1.0}`)
 	newDoc := []byte(`{"gflops":99,"seconds":1.04}`)

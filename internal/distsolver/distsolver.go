@@ -17,6 +17,7 @@ import (
 	"pjds/internal/flight"
 	"pjds/internal/formats"
 	"pjds/internal/gpu"
+	"pjds/internal/hostkernel"
 	"pjds/internal/mpi"
 	"pjds/internal/telemetry"
 )
@@ -147,6 +148,14 @@ type Operator struct {
 	devLocal    *formats.ELLPACKR[float64]
 	devNonLocal *formats.ELLPACKR[float64]
 	devWorkers  int
+
+	// Host kernels for the split application, built lazily on the first
+	// host-path Apply (pure host runs and the ECC downgrade path) from
+	// the process-default hostkernel kind. Workers is pinned to 1:
+	// ranks are already process-parallel, so intra-rank worker pools
+	// would only oversubscribe the node.
+	hostLocal    hostkernel.Kernel
+	hostNonLocal hostkernel.Kernel
 }
 
 // UseDevice routes every subsequent Apply through the GPU simulator on
@@ -228,13 +237,28 @@ func (op *Operator) deviceMul(y, x, halo []float64) error {
 	return nil
 }
 
-// hostMul runs the split application on the host CPU kernels, charging
-// the bytes/bandwidth timing model.
+// hostMul runs the split application on the blocked hostkernel CRS
+// kernels (y = A_loc·x, then y += A_nl·halo, bit-identical to the
+// naive split), charging the bytes/bandwidth timing model.
 func (op *Operator) hostMul(y, x, halo []float64) error {
-	if err := op.RP.Local.MulVec(y, x); err != nil {
+	if op.hostLocal == nil {
+		opt := hostkernel.Options{Workers: 1}
+		kind := hostkernel.DefaultKind()
+		local, err := hostkernel.New(kind, op.RP.Local, opt)
+		if err != nil {
+			return err
+		}
+		nonLocal, err := hostkernel.New(kind, op.RP.NonLocal, opt)
+		if err != nil {
+			local.Close()
+			return err
+		}
+		op.hostLocal, op.hostNonLocal = local, nonLocal
+	}
+	if err := op.hostLocal.MulVec(y, x); err != nil {
 		return err
 	}
-	if err := op.RP.NonLocal.MulVecAdd(y, halo); err != nil {
+	if err := op.hostNonLocal.MulVecAdd(y, halo); err != nil {
 		return err
 	}
 	if op.KernelBW > 0 {

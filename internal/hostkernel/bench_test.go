@@ -1,0 +1,135 @@
+package hostkernel
+
+import (
+	"testing"
+
+	"pjds/internal/core"
+	"pjds/internal/matgen"
+	"pjds/internal/matrix"
+	"pjds/internal/telemetry"
+)
+
+// benchMatrix is the shared benchmark workload: a banded matrix big
+// enough for stable per-nnz timing, small enough to build in
+// milliseconds. Telemetry is enabled so the benchmarks prove the
+// metered steady state is allocation-free too.
+func benchMatrix() *matrix.CSR[float64] {
+	return matgen.Banded(20000, 12, 28, 300, 42)
+}
+
+// benchKernel times repeated MulVec applications of k over m and
+// reports ns per non-zero next to the stock ns/op — the machine-size-
+// independent number the bench.sh pr7 gate compares across kernels
+// and checkouts.
+func benchKernel(b *testing.B, m *matrix.CSR[float64], k Kernel) {
+	b.Helper()
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/3
+	}
+	y := make([]float64, m.NRows)
+	if err := k.MulVec(y, x); err != nil { // warm up, surface errors
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.MulVec(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(m.Nnz()), "ns/nnz")
+}
+
+func BenchmarkHostNaive(b *testing.B) {
+	m := benchMatrix()
+	k := NewNaive(m, Options{Metrics: telemetry.NewRegistry()})
+	defer k.Close()
+	benchKernel(b, m, k)
+}
+
+func BenchmarkHostCRS(b *testing.B) {
+	m := benchMatrix()
+	for _, bc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"unroll4", Options{Unroll: 4}},
+		{"unroll8", Options{Unroll: 8}},
+		{"tiled", Options{Unroll: 4, TileCols: 4096}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			bc.opt.Metrics = telemetry.NewRegistry()
+			k := NewBlockedCRS(m, bc.opt)
+			defer k.Close()
+			benchKernel(b, m, k)
+		})
+	}
+}
+
+func BenchmarkHostSELL(b *testing.B) {
+	m := benchMatrix()
+	for _, bc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"c4", Options{C: 4}},
+		{"c8", Options{C: 8}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			bc.opt.Metrics = telemetry.NewRegistry()
+			k, err := NewSELL(m, bc.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer k.Close()
+			benchKernel(b, m, k)
+		})
+	}
+}
+
+func BenchmarkHostPJDS(b *testing.B) {
+	m := benchMatrix()
+	p, err := core.NewPJDS(m, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := NewPJDS(p, Options{Metrics: telemetry.NewRegistry()})
+	defer k.Close()
+	x := make([]float64, p.NCols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/3
+	}
+	y := make([]float64, p.N)
+	if err := k.MulVec(y, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.MulVec(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(p.Nnz), "ns/nnz")
+}
+
+// BenchmarkHostCRSWorkers shows the pool dispatch cost across worker
+// counts (speedup itself is unmeasurable on a 1-CPU container; the
+// point is that dispatch stays cheap and allocation-free).
+func BenchmarkHostCRSWorkers(b *testing.B) {
+	m := benchMatrix()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(benchName(w), func(b *testing.B) {
+			k := NewBlockedCRS(m, Options{Workers: w, Metrics: telemetry.NewRegistry()})
+			defer k.Close()
+			benchKernel(b, m, k)
+		})
+	}
+}
+
+func benchName(w int) string {
+	return "workers" + string(rune('0'+w))
+}

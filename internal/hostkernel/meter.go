@@ -1,0 +1,68 @@
+package hostkernel
+
+import (
+	"time"
+
+	"pjds/internal/telemetry"
+)
+
+// meter publishes per-kernel throughput telemetry. All registry
+// lookups (which allocate the series key) happen once at
+// construction; the per-apply path is two atomic gauge stores and two
+// atomic counter adds, so metered kernels stay zero-alloc.
+type meter struct {
+	gflops  *telemetry.Gauge
+	gbs     *telemetry.Gauge
+	bytes   *telemetry.Counter
+	applies *telemetry.Counter
+	// flops and traffic of one application: 2 flops per non-zero, and
+	// the minimal DP-CRS traffic of Eq. 1 at ideal RHS reuse — 12 B
+	// per non-zero (value + index), 24 B per row (row pointer + LHS
+	// write-allocate and write-back), 8 B per column of x.
+	flopsPerApply float64
+	bytesPerApply float64
+}
+
+// newMeter resolves the telemetry handles for one kernel instance;
+// nil reg yields a nil meter, and every meter method is nil-safe.
+func newMeter(reg *telemetry.Registry, kind string, nnz int64, rows, cols int) *meter {
+	if reg == nil {
+		return nil
+	}
+	reg.Help("host_kernel_gflops", "performance of the last host spMVM application, GFlop/s")
+	reg.Help("host_kernel_gbs", "effective memory bandwidth of the last host spMVM application (Eq. 1 minimal DP traffic), GB/s")
+	reg.Help("host_kernel_bytes_total", "cumulative Eq. 1 minimal DP traffic moved by host spMVM applications")
+	reg.Help("host_kernel_applies_total", "host spMVM applications")
+	l := telemetry.L("kernel", kind)
+	return &meter{
+		gflops:        reg.Gauge("host_kernel_gflops", l),
+		gbs:           reg.Gauge("host_kernel_gbs", l),
+		bytes:         reg.Counter("host_kernel_bytes_total", l),
+		applies:       reg.Counter("host_kernel_applies_total", l),
+		flopsPerApply: 2 * float64(nnz),
+		bytesPerApply: 12*float64(nnz) + 24*float64(rows) + 8*float64(cols),
+	}
+}
+
+// start returns the apply start time (zero when unmetered, so the
+// clock is only read on metered kernels).
+func (mt *meter) start() time.Time {
+	if mt == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe publishes one application that started at t0.
+func (mt *meter) observe(t0 time.Time) {
+	if mt == nil {
+		return
+	}
+	s := time.Since(t0).Seconds()
+	if s > 0 {
+		mt.gflops.Set(mt.flopsPerApply / s / 1e9)
+		mt.gbs.Set(mt.bytesPerApply / s / 1e9)
+	}
+	mt.bytes.Add(mt.bytesPerApply)
+	mt.applies.Inc()
+}

@@ -1,0 +1,78 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllWorkers(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		p := NewPool(workers)
+		want := workers
+		if want < 1 {
+			want = 1
+		}
+		if p.Workers() != want {
+			t.Fatalf("NewPool(%d).Workers() = %d, want %d", workers, p.Workers(), want)
+		}
+		var seen atomic.Int64
+		hit := make([]atomic.Bool, want)
+		for round := 0; round < 3; round++ {
+			for w := range hit {
+				hit[w].Store(false)
+			}
+			p.Run(func(w int) {
+				seen.Add(1)
+				if hit[w].Swap(true) {
+					t.Errorf("worker %d ran twice in one Run", w)
+				}
+			})
+			for w := range hit {
+				if !hit[w].Load() {
+					t.Fatalf("workers=%d round %d: worker %d never ran", workers, round, w)
+				}
+			}
+		}
+		if got := seen.Load(); got != int64(3*want) {
+			t.Fatalf("workers=%d: %d body executions, want %d", workers, got, 3*want)
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+func TestPoolPublishesWrites(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	buf := make([]int, 4096)
+	fn := func(w int) {
+		lo, hi := w*len(buf)/4, (w+1)*len(buf)/4
+		for i := lo; i < hi; i++ {
+			buf[i] = i
+		}
+	}
+	for round := 0; round < 10; round++ {
+		for i := range buf {
+			buf[i] = -1
+		}
+		p.Run(fn)
+		for i, v := range buf {
+			if v != i {
+				t.Fatalf("round %d: buf[%d] = %d after Run", round, i, v)
+			}
+		}
+	}
+}
+
+func BenchmarkPoolRun(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink [4]int64
+	fn := func(w int) { sink[w]++ }
+	p.Run(fn) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(fn)
+	}
+}

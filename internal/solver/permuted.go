@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pjds/internal/core"
+	"pjds/internal/hostkernel"
 	"pjds/internal/matrix"
 )
 
@@ -12,11 +13,16 @@ import (
 // row-length sort (PAPᵀ), stored as pJDS, and every Apply runs the
 // pure Listing-2 kernel with no per-iteration gather/scatter. Enter
 // and Leave convert vectors between the bases exactly once per solve,
-// the usage §II-A prescribes for Krylov methods.
+// the usage §II-A prescribes for Krylov methods. Applications run on
+// the unrolled hostkernel pJDS kernel (bit-identical to
+// MulVecPermuted), so the host path of a solve — including the ECC
+// downgrade path of DevicePJDS — gets the fast zero-alloc loop.
 type PermutedPJDS struct {
 	P *core.PJDS[float64]
 	// Perm is the symmetric permutation applied (new → old).
 	Perm matrix.Perm
+	// K is the host execution kernel behind Apply.
+	K *hostkernel.PJDSKernel
 }
 
 // NewPermutedPJDS builds the operator for a square matrix. The pJDS
@@ -41,14 +47,18 @@ func NewPermutedPJDS(m *matrix.CSR[float64], opt core.Options) (*PermutedPJDS, e
 			return nil, fmt.Errorf("solver: internal: non-identity inner permutation at %d", i)
 		}
 	}
-	return &PermutedPJDS{P: p, Perm: perm}, nil
+	return &PermutedPJDS{P: p, Perm: perm, K: hostkernel.NewPJDS(p, hostkernel.Options{})}, nil
 }
 
 // Dim implements Operator.
 func (o *PermutedPJDS) Dim() int { return o.P.N }
 
 // Apply implements Operator in the permuted basis.
-func (o *PermutedPJDS) Apply(y, x []float64) error { return o.P.MulVecPermuted(y, x) }
+func (o *PermutedPJDS) Apply(y, x []float64) error { return o.K.MulVec(y, x) }
+
+// Close releases the kernel's worker pool (safe to omit — a finalizer
+// covers abandoned operators).
+func (o *PermutedPJDS) Close() { o.K.Close() }
 
 // Enter gathers an original-basis vector into the permuted basis.
 func (o *PermutedPJDS) Enter(dst, src []float64) []float64 {

@@ -43,12 +43,25 @@
 # comparable across checkouts with scripts/regress.sh (allocs are
 # exact; give ns_per_op a wider band, e.g. ns_per_op=0.3).
 #
+# pr7 mode: the CPU host-kernel benchmarks. Runs the hostkernel
+# naive/blocked/SELL/pJDS benchmarks with -benchmem at -count 3 and
+# HARD-FAILS if (a) any host kernel allocates in steady state (the
+# kernels are built for a zero-alloc steady state, so 0 allocs/op is
+# an acceptance criterion) or (b) the blocked kernel's best ns/nnz is
+# not below the naive reference's best (min over 3 runs on each side
+# absorbs scheduler noise on the 1-CPU container — see DESIGN.md).
+# ns/op, ns/nnz and allocs/op land in BENCH_PR7.json (schema
+# pjds-bench-pr7/v1), comparable across checkouts with
+# scripts/regress.sh (allocs are exact; give the timing metrics a
+# wide band on virtualized hardware, e.g. ns_per_nnz=0.3).
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
 #        scripts/bench.sh pr3 [scale]
 #        scripts/bench.sh pr4 [seed]
 #        scripts/bench.sh pr5 [scale]
 #        scripts/bench.sh pr6
+#        scripts/bench.sh pr7
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -72,6 +85,10 @@ pr5)
     ;;
 pr6)
     MODE=pr6
+    shift
+    ;;
+pr7)
+    MODE=pr7
     shift
     ;;
 esac
@@ -117,6 +134,59 @@ if [ "$MODE" = pr6 ]; then
             exit bad
         }' >BENCH_PR6.json
     echo "wrote BENCH_PR6.json (gate with scripts/regress.sh OLD NEW 0.02 ns_per_op=0.3)"
+    exit 0
+fi
+
+if [ "$MODE" = pr7 ]; then
+    echo "== host-kernel benchmarks (-benchmem, 0 allocs/op + blocked<naive gates) =="
+    OUT=$(go test -run '^$' \
+        -bench 'BenchmarkHostNaive|BenchmarkHostCRS|BenchmarkHostSELL|BenchmarkHostPJDS|BenchmarkHostCRSWorkers' \
+        -benchmem -benchtime 300x -count 3 ./internal/hostkernel/)
+    echo "$OUT"
+    echo "$OUT" | awk '
+        BEGIN { n = 0; bad = 0 }
+        $1 ~ /^Benchmark/ && $NF == "allocs/op" {
+            name = $1
+            sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+            allocs = $(NF-1)
+            nsnnz = ""
+            for (i = 1; i < NF; i++) if ($(i+1) == "ns/nnz") nsnnz = $i
+            if (allocs + 0 != 0) {
+                printf "FAIL: %s allocates %s allocs/op in steady state\n", name, allocs > "/dev/stderr"
+                bad = 1
+            }
+            if (!(name in best) || nsnnz + 0 < best[name] + 0) {
+                if (!(name in best)) { names[n] = name; n++ }
+                best[name] = nsnnz
+                ns[name] = $3
+                al[name] = allocs
+            }
+        }
+        END {
+            naive = best["BenchmarkHostNaive"]
+            blocked = best["BenchmarkHostCRS/unroll4"]
+            if (naive == "" || blocked == "") {
+                print "FAIL: missing naive or blocked benchmark output" > "/dev/stderr"
+                bad = 1
+            } else if (blocked + 0 >= naive + 0) {
+                printf "FAIL: blocked kernel %s ns/nnz not below naive %s ns/nnz\n", \
+                    blocked, naive > "/dev/stderr"
+                bad = 1
+            } else {
+                printf "gate ok: blocked %s ns/nnz < naive %s ns/nnz, all 0 allocs/op\n", \
+                    blocked, naive > "/dev/stderr"
+            }
+            printf "{\n  \"schema\": \"pjds-bench-pr7/v1\",\n"
+            printf "  \"benchmarks\": [\n"
+            for (i = 0; i < n; i++) {
+                name = names[i]
+                printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"ns_per_nnz\": %s, \"allocs_per_op\": %s}%s\n", \
+                    name, ns[name], best[name], al[name], (i < n-1 ? "," : "")
+            }
+            printf "  ]\n}\n"
+            exit bad
+        }' >BENCH_PR7.json
+    echo "wrote BENCH_PR7.json (gate with scripts/regress.sh OLD NEW 0.02 ns_per_op=0.3,ns_per_nnz=0.3)"
     exit 0
 fi
 

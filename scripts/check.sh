@@ -4,9 +4,11 @@
 # MPI-like layer, the distributed spMVM engine, fault plans, the
 # fault-tolerant solver, telemetry, the GPU worker pool — the gpu
 # tests exercise Workers>1 and concurrent plan-cache lookups — and the
-# parallel ingest-and-convert pipeline), a seeded chaos smoke scenario,
-# and a conversion determinism smoke (matinfo at 1 vs 4 workers must
-# produce byte-identical output). The chaos smoke also verifies the
+# parallel ingest-and-convert pipeline, and the host-kernel layer with
+# its worker pools), a seeded chaos smoke scenario, a conversion
+# determinism smoke (matinfo at 1 vs 4 workers must produce
+# byte-identical output), and a host-kernel byte-diff smoke (spmvbench
+# -hostbench digests must be identical for naive, blocked and sell). The chaos smoke also verifies the
 # flight recorder dumps a perfreport-readable incident trace on the
 # injected crash, and an endpoint smoke asserts a held scaling run
 # serves /metrics, /healthz, /spans, /health and /dashboard with
@@ -40,6 +42,21 @@ go test -race ./internal/gpu/...
 echo "== go test -race (ingest-and-convert pipeline) =="
 go test -race ./internal/matrix/... ./internal/core/... \
     ./internal/formats/... ./internal/par/... ./internal/convert/...
+
+echo "== go test -race (host kernels, worker pools) =="
+go test -race ./internal/hostkernel/... ./internal/cpu/...
+
+echo "== host-kernel byte-diff smoke (blocked and sell vs naive) =="
+# Every host kernel must produce byte-identical results: the digest
+# lines of spmvbench -hostbench hash the float64 bit patterns of y.
+go run ./cmd/spmvbench -hostbench -host-kernel naive -host-iters 1 \
+    -scale 0.02 | grep '^digest ' >"$TMP/host-naive"
+go run ./cmd/spmvbench -hostbench -host-kernel blocked -host-iters 1 \
+    -scale 0.02 | grep '^digest ' >"$TMP/host-blocked"
+go run ./cmd/spmvbench -hostbench -host-kernel sell -host-iters 1 \
+    -scale 0.02 | grep '^digest ' >"$TMP/host-sell"
+cmp "$TMP/host-naive" "$TMP/host-blocked"
+cmp "$TMP/host-naive" "$TMP/host-sell"
 
 echo "== conversion determinism smoke (matinfo, 1 vs 4 workers) =="
 # The parallel ingest/convert pipeline must be bit-identical to the
