@@ -30,6 +30,22 @@
 //	    measure every CPU host kernel (naive, blocked, sell) on this
 //	    machine and report GFLOP/s and effective GB/s next to the
 //	    Eq. 1 model prediction and the Westmere CRS baseline.
+//
+//	perfreport -profile cpu.pprof [-check-attributed 0.9] [-trace-in trace.json]
+//	    slice a labeled CPU/heap profile by the phase pprof labels the
+//	    hot paths carry and print the per-phase sample attribution
+//	    table; with -trace-in, cross-check the profile's phase set
+//	    against the span lanes of the trace. -check-attributed fails
+//	    when less than the given fraction of samples carries a known
+//	    phase label (the check.sh smoke gate).
+//
+//	perfreport -trend [-ledger .spmv/ledger.jsonl] [-gate] A.json B.json ...
+//	    cross-run trend analysis: line up any number of benchmark
+//	    artifacts (chronological order) plus the run ledger's entries
+//	    and classify every metric's latest value against its
+//	    historical best — direction-aware and tolerance-banded like
+//	    the diff gate, but flagging only *sustained* regressions.
+//	    -gate exits non-zero on them (scripts/regress.sh trend).
 package main
 
 import (
@@ -41,6 +57,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -55,6 +72,8 @@ import (
 	"pjds/internal/hostkernel"
 	"pjds/internal/matrix"
 	"pjds/internal/perfmodel"
+	"pjds/internal/profiles"
+	"pjds/internal/runledger"
 	"pjds/internal/telemetry"
 	"pjds/internal/trace"
 )
@@ -84,13 +103,21 @@ func run(args []string, out io.Writer) error {
 		convMode  = fs.Bool("convert", false, "measure the ingest-and-convert pipeline instead of the spMVM")
 		hostMode  = fs.Bool("host", false, "measure the CPU host kernels on this machine instead of the simulated cluster")
 		workers   = fs.Int("workers", 4, "parallel worker count for -convert")
+		profileIn = fs.String("profile", "", "attribute a labeled CPU/heap pprof profile by phase instead of running a scenario")
+		checkAttr = fs.Float64("check-attributed", 0, "with -profile: fail unless at least this fraction of samples carries a known phase label")
+		trendMode = fs.Bool("trend", false, "cross-run trend analysis over positional artifact JSONs (chronological) plus -ledger entries")
+		ledger    = fs.String("ledger", "", "run ledger JSONL to include in -trend (e.g. .spmv/ledger.jsonl)")
+		trendTol  = fs.Float64("trend-tol", 0.05, "relative tolerance band around each metric's historical best")
+		sustainN  = fs.Int("sustain", 2, "trailing runs that must all sit beyond tolerance before a trend gates")
+		gate      = fs.Bool("gate", false, "with -trend: exit non-zero on sustained regressions")
+		trendFull = fs.Bool("trend-full", false, "with -trend: list ok and single-source rows too")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
 		outFile   = fs.String("o", "", "write the report to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() > 0 {
+	if fs.NArg() > 0 && !*trendMode {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 	w := out
@@ -103,6 +130,13 @@ func run(args []string, out io.Writer) error {
 		w = f
 	}
 
+	if *trendMode {
+		opt := runledger.TrendOptions{Tolerance: *trendTol, Sustain: *sustainN}
+		return runTrend(w, fs.Args(), *ledger, opt, *gate, *trendFull, *jsonOut)
+	}
+	if *profileIn != "" {
+		return runProfileReport(w, *profileIn, *traceIn, *checkAttr, *jsonOut)
+	}
 	if *traceIn != "" {
 		return analyzeArtifacts(w, *traceIn, *metricsIn, *jsonOut)
 	}
@@ -512,4 +546,147 @@ func relPct(rel float64) float64 {
 		return math.Copysign(999, rel)
 	}
 	return 100 * rel
+}
+
+// runProfileReport attributes a labeled pprof profile by phase and
+// cross-checks the phase vocabulary against the span lanes: every
+// attributed phase must be one of the known phases (which are exactly
+// the trace lanes plus "convert"), and with -trace-in each phase is
+// checked against the lanes actually present in the trace. The
+// -check-attributed gate fails when too much of the profile is
+// unlabeled — that is how check.sh catches a hot path that lost its
+// label.
+func runProfileReport(w io.Writer, profilePath, tracePath string, checkAttr float64, jsonOut bool) error {
+	p, err := profiles.ParseFile(profilePath)
+	if err != nil {
+		return err
+	}
+	a := profiles.Attribute(p)
+
+	var laneSet map[string]bool
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		spans, err := trace.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		laneSet = map[string]bool{}
+		for _, s := range spans {
+			laneSet[s.Lane] = true
+		}
+	}
+
+	if jsonOut {
+		doc := map[string]any{
+			"schema":      "pjds-profile/v1",
+			"profile":     filepath.Base(profilePath),
+			"attribution": a,
+			"phases":      a.PhaseSet(),
+		}
+		if laneSet != nil {
+			lanes := make([]string, 0, len(laneSet))
+			for l := range laneSet {
+				lanes = append(lanes, l)
+			}
+			sort.Strings(lanes)
+			doc["trace_lanes"] = lanes
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	} else {
+		a.WriteTable(w)
+		if laneSet != nil {
+			for _, ph := range a.PhaseSet() {
+				mark := "no spans on this lane"
+				if laneSet[ph] || ph == profiles.PhaseConvert {
+					mark = "matches trace lanes"
+				}
+				fmt.Fprintf(w, "  phase %-8s %s\n", ph, mark)
+			}
+		}
+	}
+
+	if unknown := a.UnknownPhases(); len(unknown) > 0 {
+		return fmt.Errorf("profile carries phase label(s) outside the span-lane vocabulary %v: %v",
+			profiles.KnownPhases, unknown)
+	}
+	if checkAttr > 0 && a.AttributedFrac() < checkAttr {
+		return fmt.Errorf("only %.1f%% of %s samples attributed to a known phase, want >= %.1f%%",
+			100*a.AttributedFrac(), orSamples(a.SampleType.Type), 100*checkAttr)
+	}
+	return nil
+}
+
+func orSamples(t string) string {
+	if t == "" {
+		return "profile"
+	}
+	return t
+}
+
+// runTrend lines up benchmark artifacts (positional, chronological
+// order) plus the run ledger's entries and reports every metric's
+// trajectory against its historical best; with -gate, sustained
+// regressions exit non-zero.
+func runTrend(w io.Writer, artifacts []string, ledgerPath string, opt runledger.TrendOptions, gate, full, jsonOut bool) error {
+	var sources []runledger.Source
+	for _, path := range artifacts {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		src, err := runledger.SourceFromJSON(filepath.Base(path), doc)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, src)
+	}
+	if ledgerPath != "" {
+		entries, err := runledger.Read(ledgerPath)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			sources = append(sources, runledger.SourceFromEntry(e))
+		}
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("usage: perfreport -trend [-ledger PATH] A.json B.json ... (need at least one source)")
+	}
+	rows := runledger.Trend(sources, opt)
+	if jsonOut {
+		names := make([]string, len(sources))
+		for i, s := range sources {
+			names[i] = s.Name
+		}
+		doc := map[string]any{
+			"schema":  "pjds-trend/v1",
+			"sources": names,
+			"rows":    rows,
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	} else {
+		runledger.WriteTrendReport(w, sources, rows, full)
+	}
+	if gate {
+		if regs := runledger.Regressions(rows); len(regs) > 0 {
+			names := make([]string, len(regs))
+			for i, r := range regs {
+				names[i] = r.Metric
+			}
+			return fmt.Errorf("%d sustained regression(s): %s", len(regs), strings.Join(names, ", "))
+		}
+	}
+	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pjds/internal/runledger"
 )
 
 // TestScenarioText runs the smallest scenario and checks the report
@@ -88,9 +90,229 @@ func TestBadFlags(t *testing.T) {
 		{"stray"},
 		{"diff", "only-one.json"},
 		{"diff", "-tol-metric", "nonsense", "a.json", "b.json"},
+		{"-trend"}, // no sources at all
 	} {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// --- fixtures for the -profile mode: a hand-encoded pprof profile ---
+
+type penc struct{ b []byte }
+
+func (e *penc) varint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+func (e *penc) uintField(num int, v uint64) {
+	e.varint(uint64(num)<<3 | 0)
+	e.varint(v)
+}
+
+func (e *penc) bytesField(num int, b []byte) {
+	e.varint(uint64(num)<<3 | 2)
+	e.varint(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+func (e *penc) msgField(num int, fill func(*penc)) {
+	var sub penc
+	fill(&sub)
+	e.bytesField(num, sub.b)
+}
+
+// profileFixture encodes a two-sample cpu/nanoseconds profile: 30ns
+// labeled phase=<phase>, 10ns unlabeled in main.cold.
+func profileFixture(t *testing.T, dir, phase string) string {
+	t.Helper()
+	var e penc
+	e.msgField(1, func(s *penc) { // sample_type cpu/nanoseconds
+		s.uintField(1, 1)
+		s.uintField(2, 2)
+	})
+	e.msgField(2, func(s *penc) { // labeled sample, 30ns
+		s.uintField(1, 1)
+		s.uintField(2, 30)
+		s.msgField(3, func(l *penc) {
+			l.uintField(1, 3) // "phase"
+			l.uintField(2, 4) // phase value
+		})
+	})
+	e.msgField(2, func(s *penc) { // unlabeled sample, 10ns
+		s.uintField(1, 1)
+		s.uintField(2, 10)
+	})
+	e.msgField(4, func(l *penc) { // location 1 -> function 1
+		l.uintField(1, 1)
+		l.msgField(4, func(ln *penc) { ln.uintField(1, 1) })
+	})
+	e.msgField(5, func(f *penc) { // function 1 = main.cold
+		f.uintField(1, 1)
+		f.uintField(2, 5)
+	})
+	for _, s := range []string{"", "cpu", "nanoseconds", "phase", phase, "main.cold"} {
+		e.bytesField(6, []byte(s))
+	}
+	path := filepath.Join(dir, "cpu.pprof")
+	if err := os.WriteFile(path, e.b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestProfileReport checks the attribution table, the JSON shape, and
+// the -check-attributed gate in both directions.
+func TestProfileReport(t *testing.T) {
+	path := profileFixture(t, t.TempDir(), "host")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", path}, &buf); err != nil {
+		t.Fatalf("-profile: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"host", "attributed to known phases: 75.0%", "main.cold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-profile", path, "-check-attributed", "0.7"}, &buf); err != nil {
+		t.Fatalf("gate at 0.7 rejected a 75%%-attributed profile: %v", err)
+	}
+	buf.Reset()
+	err := run([]string{"-profile", path, "-check-attributed", "0.9"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "75.0%") {
+		t.Fatalf("gate at 0.9 = %v, want failure citing 75.0%%", err)
+	}
+
+	buf.Reset()
+	if err := run([]string{"-profile", path, "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema      string   `json:"schema"`
+		Phases      []string `json:"phases"`
+		Attribution struct {
+			Total      int64 `json:"total"`
+			Attributed int64 `json:"attributed"`
+		} `json:"attribution"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != "pjds-profile/v1" || doc.Attribution.Total != 40 || doc.Attribution.Attributed != 30 {
+		t.Fatalf("profile doc = %+v", doc)
+	}
+	if len(doc.Phases) != 1 || doc.Phases[0] != "host" {
+		t.Fatalf("phases = %v", doc.Phases)
+	}
+}
+
+// TestProfileUnknownPhase: a phase label outside the span-lane
+// vocabulary must fail the cross-check.
+func TestProfileUnknownPhase(t *testing.T) {
+	path := profileFixture(t, t.TempDir(), "warmup")
+	var buf bytes.Buffer
+	err := run([]string{"-profile", path}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "warmup") {
+		t.Fatalf("unknown phase accepted: %v", err)
+	}
+}
+
+// writeArtifact drops a one-metric JSON doc for trend tests.
+func writeArtifact(t *testing.T, dir, name string, gflops float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	doc, _ := json.Marshal(map[string]float64{"gflops": gflops})
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTrendGate: a sustained drop gates, a steady series does not, and
+// the JSON shape carries the verdicts.
+func TestTrendGate(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArtifact(t, dir, "a.json", 10)
+	b := writeArtifact(t, dir, "b.json", 5)
+	c := writeArtifact(t, dir, "c.json", 5)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-trend", a, b, c}, &buf); err != nil {
+		t.Fatalf("ungated trend errored: %v", err)
+	}
+	if !strings.Contains(buf.String(), "regression") {
+		t.Errorf("sustained drop not reported:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	err := run([]string{"-trend", "-gate", a, b, c}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "gflops") {
+		t.Fatalf("gate = %v, want sustained regression on gflops", err)
+	}
+
+	// One bad run between two good ones is watch, not a gate failure.
+	buf.Reset()
+	if err := run([]string{"-trend", "-gate", a, b, a}, &buf); err != nil {
+		t.Fatalf("recovered series gated: %v\n%s", err, buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"-trend", "-json", a, b, c}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string   `json:"schema"`
+		Sources []string `json:"sources"`
+		Rows    []struct {
+			Metric  string `json:"metric"`
+			Verdict string `json:"verdict"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != "pjds-trend/v1" || len(doc.Sources) != 3 {
+		t.Fatalf("trend doc = %+v", doc)
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0].Metric != "gflops" || doc.Rows[0].Verdict != "regression" {
+		t.Fatalf("rows = %+v", doc.Rows)
+	}
+}
+
+// TestTrendLedger folds run-ledger entries in after the positional
+// artifacts, so a fresh regression recorded by spmvbench gates.
+func TestTrendLedger(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArtifact(t, dir, "a.json", 10)
+	ledger := filepath.Join(dir, "ledger.jsonl")
+	for i := 0; i < 2; i++ {
+		if err := runledger.Append(ledger, runledger.Entry{
+			Tool:    "spmvbench",
+			Metrics: map[string]float64{"gflops": 4},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	err := run([]string{"-trend", "-gate", "-ledger", ledger, a}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "gflops") {
+		t.Fatalf("ledger regression not gated: %v", err)
+	}
+	buf.Reset()
+	if err := run([]string{"-trend", "-ledger", ledger, a}, &buf); err != nil {
+		t.Fatalf("ungated ledger trend errored: %v", err)
+	}
+	if !strings.Contains(buf.String(), "spmvbench@") {
+		t.Errorf("ledger entries missing from source list:\n%s", buf.String())
 	}
 }

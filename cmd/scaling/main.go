@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +46,8 @@ import (
 	"pjds/internal/hostkernel"
 	"pjds/internal/mpi"
 	"pjds/internal/par"
+	"pjds/internal/profiles"
+	"pjds/internal/runledger"
 	"pjds/internal/simnet"
 	"pjds/internal/telemetry"
 	"pjds/internal/trace"
@@ -82,6 +86,9 @@ func run(args []string, out io.Writer) error {
 		flightOn   = fs.Bool("flight", false, "enable the always-on flight recorder (/spans on -metrics-addr)")
 		flightDump = fs.String("flight-dump", "", "write a post-incident trace here when a severe event fires (implies -flight)")
 		hold       = fs.Duration("hold", 0, "keep the -metrics-addr endpoint serving this long after the run (live dashboards)")
+		cpuProfile = fs.String("cpuprofile", "", "write a phase-labeled CPU profile to this file (perfreport -profile, go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file after the run (after a final GC)")
+		ledgerArg  = fs.String("ledger", "", "append this run's record to a JSONL run ledger ('default' = "+runledger.DefaultPath+")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +103,11 @@ func run(args []string, out io.Writer) error {
 	if *traceOut == "" {
 		*traceOut = *traceAlias
 	}
+	capture, err := profiles.StartCapture(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer capture.Stop()
 
 	format := distmv.FormatELLPACKR
 	switch strings.ToLower(*formatArg) {
@@ -119,11 +131,24 @@ func run(args []string, out io.Writer) error {
 			flight.Disable()
 		}()
 	}
+	ledgerPath := *ledgerArg
+	if ledgerPath == "default" {
+		ledgerPath = runledger.DefaultPath
+	}
 	if *metricsAdr != "" {
 		eng := health.New(telemetry.Default(), health.Options{})
 		eng.RegisterHTTP()
 		eng.Start(health.Options{})
 		defer eng.Stop()
+		// /trends.json: cross-run history for the dashboard — the
+		// checked-in BENCH_PR*.json trajectory plus whatever ledger
+		// this (or any earlier) run appends to.
+		trendLedger := ledgerPath
+		if trendLedger == "" {
+			trendLedger = runledger.DefaultPath
+		}
+		telemetry.RegisterHandler("/trends.json",
+			runledger.TrendHandler(trendLedger, trendBaseline(), runledger.TrendOptions{}))
 		srv, err := telemetry.Serve(*metricsAdr, telemetry.Default())
 		if err != nil {
 			return err
@@ -182,6 +207,10 @@ func run(args []string, out io.Writer) error {
 		}, out)
 		return err
 	}
+	// Matrix generation and conversion happen on this goroutine; the
+	// rank goroutines and GPU replay workers label themselves.
+	profiles.SetPhase(profiles.PhaseConvert)
+	defer profiles.Clear()
 	if err := dispatch(); err != nil {
 		return err
 	}
@@ -191,7 +220,55 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote metrics to %s\n", *metricsOut)
 	}
+	if ledgerPath != "" {
+		if err := runledger.Append(ledgerPath, runledger.Entry{
+			Tool:    "scaling",
+			Matrix:  *matrixArg,
+			Format:  format.String(),
+			Kernel:  string(kind),
+			Workers: *workers,
+			Scale:   *scale,
+			Metrics: runledger.MetricsFromRegistry(telemetry.Default()),
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ledger: appended run to %s\n", ledgerPath)
+	}
 	return nil
+}
+
+// trendBaseline loads the checked-in BENCH_PR*.json trajectory in PR
+// order as the fixed prefix of the /trends.json history.
+func trendBaseline() []runledger.Source {
+	paths, _ := filepath.Glob("BENCH_PR*.json")
+	type numbered struct {
+		path string
+		n    int
+	}
+	var ordered []numbered
+	for _, p := range paths {
+		base := strings.TrimSuffix(filepath.Base(p), ".json")
+		num := strings.TrimPrefix(base, "BENCH_PR")
+		n, err := strconv.Atoi(num)
+		if err != nil {
+			continue // skip e.g. BENCH_PR1.metrics.json
+		}
+		ordered = append(ordered, numbered{p, n})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].n < ordered[j].n })
+	var out []runledger.Source
+	for _, o := range ordered {
+		doc, err := os.ReadFile(o.path)
+		if err != nil {
+			continue
+		}
+		src, err := runledger.SourceFromJSON(filepath.Base(o.path), doc)
+		if err != nil {
+			continue
+		}
+		out = append(out, src)
+	}
+	return out
 }
 
 // runBreakdown prints the per-phase costs of one iteration per mode.

@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime/pprof"
 
 	"pjds/internal/experiments"
 	"pjds/internal/flight"
@@ -33,6 +32,8 @@ import (
 	"pjds/internal/health"
 	"pjds/internal/hostkernel"
 	"pjds/internal/par"
+	"pjds/internal/profiles"
+	"pjds/internal/runledger"
 	"pjds/internal/telemetry"
 )
 
@@ -62,8 +63,9 @@ func run(args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 0, "host goroutines per simulated kernel and format conversion (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
 		flightOn   = fs.Bool("flight", false, "enable the always-on flight recorder (/spans on -metrics-addr)")
 		flightDump = fs.String("flight-dump", "", "write a post-incident trace here when a severe event fires (implies -flight)")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this file after the run")
+		cpuProfile = fs.String("cpuprofile", "", "write a phase-labeled CPU profile to this file (perfreport -profile, go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file after the run (after a final GC)")
+		ledgerArg  = fs.String("ledger", "", "append this run's record to a JSONL run ledger ('default' = "+runledger.DefaultPath+")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,33 +77,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	hostkernel.SetDefaultKind(kind)
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return err
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	// Capture flushes both profiles on SIGINT/SIGTERM too, so an
+	// interrupted benchmark still leaves analyzable artifacts.
+	capture, err := profiles.StartCapture(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "spmvbench: memprofile:", err)
-				return
-			}
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "spmvbench: memprofile:", err)
-			}
-			f.Close()
-		}()
-	}
+	defer capture.Stop()
 	if *jsonOut != "" {
 		*table1 = true
 	}
@@ -133,6 +115,11 @@ func run(args []string, out io.Writer) error {
 		defer srv.Close()
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", srv.Addr)
 	}
+	// Experiment setup (matrix generation, format conversion) runs on
+	// this goroutine; the finer phases (gpu replay workers, host
+	// kernel pools) carry their own labels.
+	profiles.SetPhase(profiles.PhaseConvert)
+	defer profiles.Clear()
 	if *table1 {
 		res, err := experiments.RunTable1(*scale, out)
 		if err != nil {
@@ -178,6 +165,26 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote metrics to %s\n", *metricsOut)
+	}
+	if *ledgerArg != "" {
+		path := *ledgerArg
+		if path == "default" {
+			path = runledger.DefaultPath
+		}
+		entry := runledger.Entry{
+			Tool:    "spmvbench",
+			Kernel:  string(kind),
+			Workers: *workers,
+			Scale:   *scale,
+			Metrics: runledger.MetricsFromRegistry(telemetry.Default()),
+		}
+		if *fig2 || *ablations {
+			entry.Matrix = *matrixArg
+		}
+		if err := runledger.Append(path, entry); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ledger: appended run to %s\n", path)
 	}
 	return nil
 }

@@ -93,16 +93,30 @@ func run(w io.Writer, opt options) error {
 
 	var prev *poll
 	var residualX, residualY []float64
+	// Reconnect with exponential backoff: a run restarting behind the
+	// same -metrics-addr (or one that hasn't bound its port yet) should
+	// be picked up without hammering the endpoint in the meantime.
+	minBackoff := opt.interval
+	if minBackoff <= 0 {
+		minBackoff = time.Second
+	}
+	backoff := minBackoff
+	const maxBackoff = 30 * time.Second
 	for {
 		cur, err := fetch(client, base)
 		if err != nil {
 			if opt.once {
 				return err
 			}
-			fmt.Fprintf(w, "spmvtop: %v (retrying in %s)\n", err, opt.interval)
-			time.Sleep(opt.interval)
+			fmt.Fprintf(w, "spmvtop: %v (retrying in %s)\n", err, backoff)
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 			continue
 		}
+		backoff = minBackoff
 		if res, it, ok := residualPoint(cur.series); ok {
 			if len(residualX) == 0 || it > residualX[len(residualX)-1] {
 				residualX = append(residualX, it)

@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"pjds/internal/profiles"
 	"pjds/internal/telemetry"
 )
 
@@ -49,6 +50,9 @@ type Recorder struct {
 // process-default registry) and, when spans is non-nil, logging one
 // span per phase under the given proc id.
 func NewRecorder(reg *telemetry.Registry, spans *telemetry.SpanLog, proc int) *Recorder {
+	// A Recorder marks the start of a conversion pipeline: label the
+	// coordinating goroutine (workers it spawns inherit the label).
+	profiles.SetPhase(profiles.PhaseConvert)
 	if reg == nil {
 		reg = telemetry.Default()
 	}

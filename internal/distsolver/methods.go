@@ -8,6 +8,7 @@ import (
 
 	"pjds/internal/distmv"
 	"pjds/internal/mpi"
+	"pjds/internal/profiles"
 	"pjds/internal/telemetry"
 )
 
@@ -26,6 +27,9 @@ type CGResult struct {
 // every rank returns the same result metadata. An optional Instrument
 // records convergence gauges and per-iteration spans.
 func CG(c *mpi.Comm, rp *distmv.RankProblem, x, b []float64, tol float64, maxIter int, inst ...*Instrument) (CGResult, error) {
+	// Each rank goroutine runs its whole solve here: re-label it from
+	// phase=mpi to phase=solver, keeping the rank for per-rank slicing.
+	profiles.SetPhase(profiles.PhaseSolver, "rank", strconv.Itoa(rp.Rank))
 	in := firstInstrument(inst)
 	var gIter, gRes *telemetry.Gauge
 	if in != nil {
@@ -126,6 +130,7 @@ type PowerResult struct {
 // An optional Instrument records convergence gauges and per-iteration
 // spans.
 func PowerIteration(c *mpi.Comm, rp *distmv.RankProblem, v0 []float64, tol float64, maxIter int, inst ...*Instrument) (PowerResult, error) {
+	profiles.SetPhase(profiles.PhaseSolver, "rank", strconv.Itoa(rp.Rank))
 	in := firstInstrument(inst)
 	var gIter, gRes, gEig *telemetry.Gauge
 	if in != nil {

@@ -10,6 +10,7 @@ import (
 
 	"pjds/internal/cpu"
 	"pjds/internal/hostkernel"
+	"pjds/internal/profiles"
 	"pjds/internal/telemetry"
 	"pjds/internal/textplot"
 )
@@ -68,6 +69,11 @@ func RunHostBench(kind hostkernel.Kind, names []string, scale float64, iters, wo
 	}
 	res := &HostBenchResult{Scale: scale, Kernel: string(kind)}
 	for _, name := range names {
+		// Stage labels on the coordinating goroutine: generation and
+		// format conversion are phase=convert, the measured
+		// applications phase=host. Pool workers carry their own
+		// phase=host labels from construction.
+		profiles.SetPhase(profiles.PhaseConvert)
 		m, err := Matrix(name, scale)
 		if err != nil {
 			return nil, err
@@ -79,6 +85,7 @@ func RunHostBench(kind hostkernel.Kind, names []string, scale float64, iters, wo
 		if err != nil {
 			return nil, err
 		}
+		profiles.SetPhase(profiles.PhaseHost, "kernel", string(kind))
 		x := testVector(m.NCols)
 		y := make([]float64, m.NRows)
 		if err := k.MulVec(y, x); err != nil { // warm up, surface errors

@@ -1,12 +1,15 @@
 package gpu
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"pjds/internal/core"
 	"pjds/internal/matrix"
+	"pjds/internal/profiles"
 )
 
 // defaultWorkers holds the package-wide worker-count default applied
@@ -79,6 +82,10 @@ type Plan[T matrix.Float] struct {
 	warpSize  int
 	segBytes  int64
 	warps     []warpPlan
+	// labels is the prebuilt pprof label context replay workers adopt
+	// at spawn (phase=gpu, kernel=...): built once at compile time so
+	// labeling a fresh goroutine costs no allocation at replay time.
+	labels context.Context
 }
 
 // Kernel returns the kernel name the plan was compiled for.
@@ -106,6 +113,7 @@ func compilePlan[T matrix.Float](d *Device, src planSource[T]) *Plan[T] {
 		warpSize:  ws,
 		segBytes:  segBytes,
 		warps:     make([]warpPlan, 0, (src.nPad+ws-1)/ws),
+		labels:    profiles.Ctx(profiles.PhaseGPU, "kernel", src.kernel),
 	}
 	for wbase := 0; wbase < src.nPad; wbase += ws {
 		lanes := ws
@@ -258,6 +266,10 @@ func (p *Plan[T]) run(d *Device, y, x []T, opt RunOptions) *KernelStats {
 			wg.Add(1)
 			go func(sh *KernelStats) {
 				defer wg.Done()
+				// Fresh goroutine: adopt the plan's phase=gpu labels
+				// for its whole (short) life. Prebuilt context, so
+				// this allocates nothing per replay.
+				pprof.SetGoroutineLabels(p.labels)
 				sum := make([]T, p.warpSize)
 				for {
 					hi := int(cursor.Add(int64(chunk)))

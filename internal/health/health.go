@@ -159,7 +159,14 @@ var counterNames = []string{
 	"simnet_faults_injected_total",
 	"distsolver_rollbacks_total",
 	"distsolver_ecc_downgrades_total",
+	"runtime_gc_pause_seconds_total",
+	"runtime_gc_cpu_seconds_total",
+	"runtime_gc_cycles_total",
 }
+
+// gcStallWarnFrac is the pause-time fraction of the window above
+// which gc_stall warns.
+const gcStallWarnFrac = 0.05
 
 // Tick takes one sample at the given clock reading and re-evaluates.
 func (e *Engine) Tick(now float64) Report {
@@ -358,6 +365,22 @@ func (e *Engine) evaluateLocked() Report {
 		rep.Signals = append(rep.Signals, sig)
 	}
 
+	// gc_stall: stop-the-world GC pause time as a fraction of the
+	// window. Warn-grade: the process is still making progress, but a
+	// GC eating >5% of wall time is throughput the Eq. 1 model can't
+	// explain. Only evaluated when a RuntimeSampler feeds the
+	// registry (Start wires one up; virtual-time Tick tests don't).
+	if _, ok := newest.sums["runtime_gc_pause_seconds_total"]; ok {
+		pause := delta(oldest, newest, "runtime_gc_pause_seconds_total")
+		frac := pause / elapsed
+		sig := Signal{Name: "gc_stall", Status: Pass, Value: frac}
+		if frac > gcStallWarnFrac {
+			sig.Status = Warn
+			sig.Cause = fmt.Sprintf("GC pauses consumed %.1f%% of the last %.1fs", 100*frac, elapsed)
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
 	// heartbeat: MPI progress silence. Warn-only by design — a
 	// finished run idling behind -hold must stay healthy, but a
 	// mid-run stall should still surface.
@@ -402,13 +425,20 @@ func (e *Engine) Start(opts Options) {
 		defer close(e.done)
 		t := time.NewTicker(iv)
 		defer t.Stop()
+		// Runtime metrics ride the health ticker: GC pause/CPU, heap
+		// and goroutine gauges land in the same registry the engine
+		// snapshots, so gc_stall sees them one Tick later. Kept out
+		// of Tick itself so virtual-time tests stay hermetic.
+		rt := telemetry.NewRuntimeSampler(e.reg)
 		start := time.Now()
+		rt.Sample()
 		e.Tick(0)
 		for {
 			select {
 			case <-e.stop:
 				return
 			case now := <-t.C:
+				rt.Sample()
 				e.Tick(now.Sub(start).Seconds())
 			}
 		}

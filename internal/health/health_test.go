@@ -222,3 +222,41 @@ func TestStatusUnmarshalRoundTrip(t *testing.T) {
 		t.Fatalf("status marshals as %v, want \"warn\"", doc["status"])
 	}
 }
+
+func TestGCStallWarns(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	reg.Counter("runtime_gc_pause_seconds_total").Add(0.01)
+	e.Tick(0)
+	// 0.2s of pause over a 1s window → 20%, well past the 5% band.
+	reg.Counter("runtime_gc_pause_seconds_total").Add(0.2)
+	rep := e.Tick(1)
+	s := signal(rep, "gc_stall")
+	if s == nil || s.Status != Warn || s.Cause == "" {
+		t.Fatalf("gc_stall = %+v, want warn with cause", s)
+	}
+	if math.Abs(s.Value-0.2) > 1e-9 {
+		t.Fatalf("gc_stall value = %v, want 0.2", s.Value)
+	}
+	if rep.Status != Warn {
+		t.Fatalf("status = %v, want warn (gc_stall must never fail)", rep.Status)
+	}
+	// Quiet GC: once the pause spike slides out of the 4-sample
+	// window the signal goes back to pass.
+	e.Tick(2)
+	e.Tick(3)
+	rep = e.Tick(4)
+	if s := signal(rep, "gc_stall"); s == nil || s.Status != Pass {
+		t.Fatalf("quiet gc_stall = %+v, want pass", s)
+	}
+}
+
+func TestGCStallAbsentWithoutRuntimeMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	e.Tick(0)
+	rep := e.Tick(1)
+	if s := signal(rep, "gc_stall"); s != nil {
+		t.Fatalf("gc_stall evaluated without runtime metrics: %+v", s)
+	}
+}

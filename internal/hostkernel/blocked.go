@@ -6,6 +6,7 @@ import (
 
 	"pjds/internal/matrix"
 	"pjds/internal/par"
+	"pjds/internal/profiles"
 )
 
 // BlockedCRS is the cache-blocked, unrolled CRS kernel. Rows are
@@ -81,6 +82,7 @@ func NewBlockedCRS(m *matrix.CSR[float64], opt Options) *BlockedCRS {
 	k.runFn = k.run
 	if workers > 1 {
 		k.pool = par.NewPool(workers)
+		k.pool.Label(profiles.Ctx(profiles.PhaseHost, "kernel", string(KindBlocked), "format", "crs"))
 		runtime.SetFinalizer(k, (*BlockedCRS).Close)
 	}
 	return k

@@ -7,6 +7,7 @@ import (
 	"pjds/internal/core"
 	"pjds/internal/matrix"
 	"pjds/internal/par"
+	"pjds/internal/profiles"
 )
 
 // PJDSKernel is the parallel, unrolled host kernel over a pJDS
@@ -51,6 +52,7 @@ func NewPJDS(p *core.PJDS[float64], opt Options) *PJDSKernel {
 	k.runFn = k.run
 	if workers > 1 {
 		k.pool = par.NewPool(workers)
+		k.pool.Label(profiles.Ctx(profiles.PhaseHost, "kernel", "pjds", "format", "pjds"))
 		runtime.SetFinalizer(k, (*PJDSKernel).Close)
 	}
 	return k

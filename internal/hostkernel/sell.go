@@ -7,6 +7,7 @@ import (
 	"pjds/internal/formats"
 	"pjds/internal/matrix"
 	"pjds/internal/par"
+	"pjds/internal/profiles"
 )
 
 // SELL is the SELL-C-σ-style chunked host kernel (Kreutzer et al.,
@@ -76,6 +77,7 @@ func NewSELL(m *matrix.CSR[float64], opt Options) (*SELL, error) {
 	k.runFn = k.run
 	if workers > 1 {
 		k.pool = par.NewPool(workers)
+		k.pool.Label(profiles.Ctx(profiles.PhaseHost, "kernel", string(KindSELL), "format", "sell-c-sigma"))
 		runtime.SetFinalizer(k, (*SELL).Close)
 	}
 	return k, nil

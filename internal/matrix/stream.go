@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"pjds/internal/profiles"
 )
 
 // This file implements the chunked, parallel MatrixMarket reader: the
@@ -57,6 +59,9 @@ type mmTriples[T Float] struct {
 // expanded to full storage, entries beyond the size-line count are
 // ignored. The result is bit-identical for every worker count.
 func ReadMatrixMarketOpt[T Float](r io.Reader, opt ConvertOptions) (*CSR[T], ReadStats, error) {
+	// Label the coordinating goroutine for the ingest stage; the
+	// parser worker goroutines spawned below inherit the label.
+	profiles.SetPhase(profiles.PhaseConvert)
 	br := bufio.NewReaderSize(r, 1<<16)
 	var st ReadStats
 	hdr, err := readMMHeader(br)

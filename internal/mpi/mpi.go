@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"pjds/internal/flight"
+	"pjds/internal/profiles"
 	"pjds/internal/simnet"
 	"pjds/internal/telemetry"
 )
@@ -187,6 +188,10 @@ func RunWithOptions(n int, fabric *simnet.Fabric, opt Options, body func(*Comm) 
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			// The rank goroutine owns its whole body: label it once so
+			// profile samples attribute to phase=mpi with the rank.
+			// (Solver bodies re-label themselves phase=solver.)
+			profiles.SetPhase(profiles.PhaseMPI, "rank", strconv.Itoa(rank))
 			c := w.comms[rank]
 			defer func() {
 				if r := recover(); r != nil {

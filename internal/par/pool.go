@@ -1,6 +1,10 @@
 package par
 
-import "sync"
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+)
 
 // Pool is a persistent worker pool for hot loops that cannot afford
 // the per-call goroutine fan-out of For: the host spMVM kernels run
@@ -49,6 +53,20 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the pool size (≥ 1).
 func (p *Pool) Workers() int { return p.workers }
+
+// Label applies ctx's pprof labels to every worker goroutine for the
+// rest of the pool's life, so profile samples taken inside Run bodies
+// carry the owner's phase/kernel/format labels. Call it once right
+// after NewPool: labeling happens on the workers themselves via a
+// throwaway Run, which costs nothing at steady state. Inline pools
+// (workers ≤ 1) run on the caller's goroutine and inherit whatever
+// labels the caller carries, so Label is a no-op for them.
+func (p *Pool) Label(ctx context.Context) {
+	if p.workers == 1 {
+		return
+	}
+	p.Run(func(w int) { pprof.SetGoroutineLabels(ctx) })
+}
 
 // loop is one worker goroutine: wait for a wake-up, run the body,
 // report done, repeat until Close.

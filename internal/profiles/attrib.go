@@ -1,0 +1,228 @@
+package profiles
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Attribution slices a profile's samples by the "phase" pprof label:
+// how much of the measured quantity (CPU nanoseconds, heap bytes)
+// each phase accounts for, what further splits by kernel/format/rank
+// look like inside the labeled share, and which functions dominate
+// the unlabeled residue. Heap profiles carry no goroutine labels, so
+// for them everything lands in the residue and the top-functions
+// table is the useful part.
+
+// PhaseRow is one phase's share of the profile.
+type PhaseRow struct {
+	Phase string  `json:"phase"`
+	Value int64   `json:"value"`
+	Frac  float64 `json:"frac"`
+}
+
+// FuncRow is one function's share of the unlabeled samples.
+type FuncRow struct {
+	Func  string  `json:"func"`
+	Value int64   `json:"value"`
+	Frac  float64 `json:"frac"`
+}
+
+// Attribution is the per-phase sample attribution of one profile.
+type Attribution struct {
+	SampleType   ValueType  `json:"sample_type"`
+	Total        int64      `json:"total"`
+	Attributed   int64      `json:"attributed"`
+	Phases       []PhaseRow `json:"phases"`
+	Unattributed int64      `json:"unattributed"`
+	TopUnlabeled []FuncRow  `json:"top_unlabeled,omitempty"`
+	// ByLabel holds secondary breakdowns (kernel, format, rank) of
+	// the labeled share, keyed by label name.
+	ByLabel map[string][]PhaseRow `json:"by_label,omitempty"`
+}
+
+// AttributedFrac is the fraction of the total attributed to a known
+// phase (0 when the profile is empty).
+func (a *Attribution) AttributedFrac() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Attributed) / float64(a.Total)
+}
+
+// Attribute slices p by the "phase" label using the default value
+// column (see Profile.DefaultValueIndex). When that column carries no
+// weight — inuse_space in a heap profile flushed right after a final
+// GC is all zeros — it falls back to the nearest earlier column with
+// weight (alloc_space for heap profiles), so the report shows where
+// the bytes went instead of an empty table.
+func Attribute(p *Profile) *Attribution {
+	a := AttributeIndex(p, p.DefaultValueIndex())
+	for vi := p.DefaultValueIndex() - 1; a.Total == 0 && vi >= 0; vi-- {
+		if alt := AttributeIndex(p, vi); alt.Total != 0 {
+			return alt
+		}
+	}
+	return a
+}
+
+// AttributeIndex slices p by the "phase" label using value column vi.
+func AttributeIndex(p *Profile, vi int) *Attribution {
+	a := &Attribution{ByLabel: map[string][]PhaseRow{}}
+	if vi >= 0 && vi < len(p.SampleTypes) {
+		a.SampleType = p.SampleTypes[vi]
+	}
+	phase := map[string]int64{}
+	sub := map[string]map[string]int64{} // label key -> value -> total
+	unlabeledFn := map[string]int64{}
+	for _, s := range p.Samples {
+		if vi >= len(s.Values) {
+			continue
+		}
+		v := s.Values[vi]
+		a.Total += v
+		if ph, ok := s.Labels["phase"]; ok && ph != "" {
+			a.Attributed += v
+			phase[ph] += v
+			for _, k := range []string{"kernel", "format", "rank", "lane"} {
+				if lv, ok := s.Labels[k]; ok {
+					m := sub[k]
+					if m == nil {
+						m = map[string]int64{}
+						sub[k] = m
+					}
+					m[lv] += v
+				}
+			}
+			continue
+		}
+		a.Unattributed += v
+		fn := "(unknown)"
+		if len(s.LocationIDs) > 0 {
+			if name := p.FuncName(s.LocationIDs[0]); name != "" {
+				fn = name
+			}
+		}
+		unlabeledFn[fn] += v
+	}
+	a.Phases = sortRows(phase, a.Total)
+	for k, m := range sub {
+		a.ByLabel[k] = sortRows(m, a.Attributed)
+	}
+	fns := sortRows(unlabeledFn, a.Total)
+	const topN = 8
+	if len(fns) > topN {
+		fns = fns[:topN]
+	}
+	for _, r := range fns {
+		a.TopUnlabeled = append(a.TopUnlabeled, FuncRow{Func: r.Phase, Value: r.Value, Frac: r.Frac})
+	}
+	return a
+}
+
+func sortRows(m map[string]int64, total int64) []PhaseRow {
+	rows := make([]PhaseRow, 0, len(m))
+	for k, v := range m {
+		r := PhaseRow{Phase: k, Value: v}
+		if total > 0 {
+			r.Frac = float64(v) / float64(total)
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value > rows[j].Value
+		}
+		return rows[i].Phase < rows[j].Phase
+	})
+	return rows
+}
+
+// WriteTable renders the attribution as a fixed-width text table.
+func (a *Attribution) WriteTable(w io.Writer) {
+	unit := a.SampleType.Unit
+	if unit == "" {
+		unit = "samples"
+	}
+	fmt.Fprintf(w, "profile attribution (%s/%s, total %s)\n",
+		orDash(a.SampleType.Type), unit, formatValue(a.Total, unit))
+	fmt.Fprintf(w, "  %-10s %14s %7s\n", "phase", "value", "share")
+	for _, r := range a.Phases {
+		fmt.Fprintf(w, "  %-10s %14s %6.1f%%\n", r.Phase, formatValue(r.Value, unit), 100*r.Frac)
+	}
+	fmt.Fprintf(w, "  %-10s %14s %6.1f%%\n", "(unlabeled)", formatValue(a.Unattributed, unit),
+		100*(1-a.AttributedFrac()))
+	fmt.Fprintf(w, "  attributed to known phases: %.1f%%\n", 100*a.AttributedFrac())
+	for _, key := range []string{"kernel", "format", "rank", "lane"} {
+		rows, ok := a.ByLabel[key]
+		if !ok || len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  by %s:\n", key)
+		for _, r := range rows {
+			fmt.Fprintf(w, "    %-12s %14s %6.1f%%\n", r.Phase, formatValue(r.Value, unit), 100*r.Frac)
+		}
+	}
+	if len(a.TopUnlabeled) > 0 && a.Unattributed > 0 {
+		fmt.Fprintf(w, "  top unlabeled functions:\n")
+		for _, r := range a.TopUnlabeled {
+			fmt.Fprintf(w, "    %-52s %12s %6.1f%%\n", trimFunc(r.Func), formatValue(r.Value, unit), 100*r.Frac)
+		}
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func trimFunc(fn string) string {
+	if len(fn) > 52 {
+		return "…" + fn[len(fn)-51:]
+	}
+	return fn
+}
+
+func formatValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case "bytes":
+		switch {
+		case v >= 1<<20:
+			return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.2fKiB", float64(v)/(1<<10))
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// UnknownPhases returns attributed phase names outside the known
+// span-lane vocabulary — perfreport uses this for the cross-check
+// that the profile's phase set matches the span lanes.
+func (a *Attribution) UnknownPhases() []string {
+	known := map[string]bool{}
+	for _, ph := range KnownPhases {
+		known[ph] = true
+	}
+	var out []string
+	for _, r := range a.Phases {
+		if !known[r.Phase] {
+			out = append(out, r.Phase)
+		}
+	}
+	return out
+}
+
+// PhaseSet returns the attributed phase names, sorted.
+func (a *Attribution) PhaseSet() []string {
+	out := make([]string, 0, len(a.Phases))
+	for _, r := range a.Phases {
+		out = append(out, r.Phase)
+	}
+	sort.Strings(out)
+	return out
+}

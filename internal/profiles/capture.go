@@ -1,0 +1,118 @@
+package profiles
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"syscall"
+)
+
+// Capture owns an in-flight CPU and/or heap profile capture. Unlike a
+// bare pprof.StartCPUProfile + defer, it also flushes the profiles
+// when the process receives SIGINT or SIGTERM — a Ctrl-C'd bench run
+// still leaves valid profiles behind — and it forces a final GC
+// before writing the heap profile so that steady-state live heap is
+// measured rather than whatever garbage the last cycle left floating.
+type Capture struct {
+	cpuFile *os.File
+	memPath string
+
+	mu      sync.Mutex
+	stopped bool
+	sigCh   chan os.Signal
+	sigDone chan struct{}
+}
+
+// StartCapture begins CPU profiling to cpuPath (when non-empty) and
+// arranges a heap profile at memPath (when non-empty) for Stop time.
+// Either path may be empty; with both empty the returned Capture is
+// inert and Stop is a cheap no-op.
+func StartCapture(cpuPath, memPath string) (*Capture, error) {
+	c := &Capture{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiles: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiles: cpu profile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	if c.cpuFile != nil || c.memPath != "" {
+		c.sigCh = make(chan os.Signal, 1)
+		c.sigDone = make(chan struct{})
+		signal.Notify(c.sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			defer close(c.sigDone)
+			sig, ok := <-c.sigCh
+			if !ok {
+				return
+			}
+			// Flush everything we have, then die with the default
+			// disposition so the exit status still reflects the
+			// signal.
+			c.flush()
+			signal.Reset(sig)
+			if p, err := os.FindProcess(os.Getpid()); err == nil {
+				p.Signal(sig)
+			}
+			os.Exit(1)
+		}()
+	}
+	return c, nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile (after a
+// forced GC). Safe to call multiple times; later calls are no-ops.
+func (c *Capture) Stop() error {
+	err := c.flush()
+	if c.sigCh != nil {
+		signal.Stop(c.sigCh)
+		close(c.sigCh)
+		<-c.sigDone
+		c.sigCh = nil
+	}
+	return err
+}
+
+func (c *Capture) flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return nil
+	}
+	c.stopped = true
+	var firstErr error
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("profiles: cpu profile: %w", err)
+		}
+	}
+	if c.memPath != "" {
+		// Two GCs: the first finishes any in-progress cycle, the
+		// second collects everything that died during it, so the
+		// heap profile reflects truly live steady-state allocations.
+		runtime.GC()
+		runtime.GC()
+		f, err := os.Create(c.memPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("profiles: heap profile: %w", err)
+			}
+			return firstErr
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("profiles: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("profiles: heap profile: %w", err)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,503 @@
+package profiles
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// A minimal reader for the pprof profile.proto wire format. The repo
+// has no dependencies, so instead of google/pprof/profile we decode
+// the handful of protobuf messages a CPU/heap profile actually uses:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table (string), 10 duration_nanos,
+//	          11 period_type (ValueType), 12 period
+//	ValueType: 1 type (strtab), 2 unit (strtab)
+//	Sample:   1 location_id (repeated uint64), 2 value (repeated
+//	          int64), 3 label (Label)
+//	Label:    1 key (strtab), 2 str (strtab), 3 num
+//	Location: 1 id, 4 line (Line)
+//	Line:     1 function_id
+//	Function: 1 id, 2 name (strtab)
+//
+// Repeated scalar fields arrive packed (wire type 2) or unpacked
+// (wire type 0) depending on the writer; both are handled.
+
+// ValueType names one sample value column, e.g. cpu/nanoseconds.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one stack sample: a location stack (leaf first), one
+// value per sample type, and the pprof labels in force when it was
+// taken.
+type Sample struct {
+	LocationIDs []uint64
+	Values      []int64
+	Labels      map[string]string
+	NumLabels   map[string]int64
+}
+
+// Profile is the decoded subset of a pprof profile needed for
+// per-phase attribution.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+
+	locFunc  map[uint64]uint64 // location id -> leaf function id
+	funcName map[uint64]string // function id -> name
+}
+
+// FuncName resolves the leaf function name for a location ID,
+// returning "" when unknown (e.g. stripped mappings).
+func (p *Profile) FuncName(locID uint64) string {
+	if fid, ok := p.locFunc[locID]; ok {
+		return p.funcName[fid]
+	}
+	return ""
+}
+
+// DefaultValueIndex returns the conventional value column: the last
+// sample type (cpu/nanoseconds for CPU profiles, inuse_space for heap
+// profiles), matching `go tool pprof` defaults.
+func (p *Profile) DefaultValueIndex() int {
+	if n := len(p.SampleTypes); n > 0 {
+		return n - 1
+	}
+	return 0
+}
+
+// ParseFile reads and decodes a pprof profile from disk.
+func ParseFile(path string) (*Profile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("profiles: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Parse decodes a (possibly gzip-compressed) pprof profile.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		data = raw
+	}
+	d := &decoder{b: data}
+
+	var strtab []string
+	type rawLabel struct {
+		key, str uint64
+		num      int64
+	}
+	type rawSample struct {
+		locs   []uint64
+		values []int64
+		labels []rawLabel
+	}
+	var samples []rawSample
+	var sampleTypes [][2]uint64 // type, unit string indexes
+	var periodType [2]uint64
+	funcNameIdx := map[uint64]uint64{} // function id -> strtab index
+	p := &Profile{
+		locFunc:  map[uint64]uint64{},
+		funcName: map[uint64]string{},
+	}
+
+	for !d.done() {
+		num, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			msg, err := d.msg(wt)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			msg, err := d.msg(wt)
+			if err != nil {
+				return nil, err
+			}
+			var s rawSample
+			sd := &decoder{b: msg}
+			for !sd.done() {
+				n, w, err := sd.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1: // location_id
+					vals, err := sd.repeatedVarint(w)
+					if err != nil {
+						return nil, err
+					}
+					s.locs = append(s.locs, vals...)
+				case 2: // value
+					vals, err := sd.repeatedVarint(w)
+					if err != nil {
+						return nil, err
+					}
+					for _, v := range vals {
+						s.values = append(s.values, int64(v))
+					}
+				case 3: // label
+					lmsg, err := sd.msg(w)
+					if err != nil {
+						return nil, err
+					}
+					var l rawLabel
+					ld := &decoder{b: lmsg}
+					for !ld.done() {
+						ln, lw, err := ld.tag()
+						if err != nil {
+							return nil, err
+						}
+						switch ln {
+						case 1:
+							l.key, err = ld.varintField(lw)
+						case 2:
+							l.str, err = ld.varintField(lw)
+						case 3:
+							var v uint64
+							v, err = ld.varintField(lw)
+							l.num = int64(v)
+						default:
+							err = ld.skip(lw)
+						}
+						if err != nil {
+							return nil, err
+						}
+					}
+					s.labels = append(s.labels, l)
+				default:
+					if err := sd.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			samples = append(samples, s)
+		case 4: // location
+			msg, err := d.msg(wt)
+			if err != nil {
+				return nil, err
+			}
+			var id, leafFn uint64
+			ld := &decoder{b: msg}
+			for !ld.done() {
+				n, w, err := ld.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					id, err = ld.varintField(w)
+					if err != nil {
+						return nil, err
+					}
+				case 4: // line; first line is the leaf after inlining
+					lmsg, err := ld.msg(w)
+					if err != nil {
+						return nil, err
+					}
+					fd := &decoder{b: lmsg}
+					for !fd.done() {
+						fn, fw, err := fd.tag()
+						if err != nil {
+							return nil, err
+						}
+						if fn == 1 {
+							fid, err := fd.varintField(fw)
+							if err != nil {
+								return nil, err
+							}
+							if leafFn == 0 {
+								leafFn = fid
+							}
+						} else if err := fd.skip(fw); err != nil {
+							return nil, err
+						}
+					}
+				default:
+					if err := ld.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if id != 0 && leafFn != 0 {
+				p.locFunc[id] = leafFn
+			}
+		case 5: // function
+			msg, err := d.msg(wt)
+			if err != nil {
+				return nil, err
+			}
+			var id, name uint64
+			fd := &decoder{b: msg}
+			for !fd.done() {
+				n, w, err := fd.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					id, err = fd.varintField(w)
+				case 2:
+					name, err = fd.varintField(w)
+				default:
+					err = fd.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			if id != 0 {
+				funcNameIdx[id] = name
+			}
+		case 6: // string_table
+			msg, err := d.msg(wt)
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(msg))
+		case 10: // duration_nanos
+			v, err := d.varintField(wt)
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 11: // period_type
+			msg, err := d.msg(wt)
+			if err != nil {
+				return nil, err
+			}
+			periodType, err = parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+		case 12: // period
+			v, err := d.varintField(wt)
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		default:
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, vt := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt[0]), Unit: str(vt[1])})
+	}
+	p.PeriodType = ValueType{Type: str(periodType[0]), Unit: str(periodType[1])}
+	for id, idx := range funcNameIdx {
+		p.funcName[id] = str(idx)
+	}
+	for _, rs := range samples {
+		s := Sample{LocationIDs: rs.locs, Values: rs.values}
+		for _, l := range rs.labels {
+			k := str(l.key)
+			if k == "" {
+				continue
+			}
+			if l.str != 0 {
+				if s.Labels == nil {
+					s.Labels = map[string]string{}
+				}
+				s.Labels[k] = str(l.str)
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = map[string]int64{}
+				}
+				s.NumLabels[k] = l.num
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, fmt.Errorf("no sample types: not a pprof profile?")
+	}
+	return p, nil
+}
+
+func parseValueType(msg []byte) ([2]uint64, error) {
+	var vt [2]uint64
+	d := &decoder{b: msg}
+	for !d.done() {
+		n, w, err := d.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch n {
+		case 1:
+			vt[0], err = d.varintField(w)
+		case 2:
+			vt[1], err = d.varintField(w)
+		default:
+			err = d.skip(w)
+		}
+		if err != nil {
+			return vt, err
+		}
+	}
+	return vt, nil
+}
+
+// decoder walks protobuf wire format over a byte slice.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.b) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.b) {
+			return 0, fmt.Errorf("truncated varint at %d", d.pos)
+		}
+		c := d.b[d.pos]
+		d.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("varint overflow at %d", d.pos)
+		}
+	}
+}
+
+// tag reads a field tag, returning field number and wire type.
+func (d *decoder) tag() (int, int, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytes reads a length-delimited payload.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(d.b)-d.pos) < n {
+		return nil, fmt.Errorf("truncated bytes field at %d (want %d)", d.pos, n)
+	}
+	out := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// msg returns the payload of a length-delimited field, erroring on
+// any other wire type.
+func (d *decoder) msg(wt int) ([]byte, error) {
+	if wt != 2 {
+		return nil, fmt.Errorf("wire type %d where message expected at %d", wt, d.pos)
+	}
+	return d.bytes()
+}
+
+// varintField reads a scalar that must be varint-encoded.
+func (d *decoder) varintField(wt int) (uint64, error) {
+	if wt != 0 {
+		return 0, fmt.Errorf("wire type %d where varint expected at %d", wt, d.pos)
+	}
+	return d.varint()
+}
+
+// repeatedVarint reads one element (wire type 0) or a packed run
+// (wire type 2) of a repeated scalar field.
+func (d *decoder) repeatedVarint(wt int) ([]uint64, error) {
+	switch wt {
+	case 0:
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	case 2:
+		payload, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		pd := &decoder{b: payload}
+		var out []uint64
+		for !pd.done() {
+			v, err := pd.varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wire type %d for repeated varint at %d", wt, d.pos)
+	}
+}
+
+// skip discards one field payload of the given wire type.
+func (d *decoder) skip(wt int) error {
+	switch wt {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		if len(d.b)-d.pos < 8 {
+			return fmt.Errorf("truncated fixed64 at %d", d.pos)
+		}
+		d.pos += 8
+		return nil
+	case 2:
+		_, err := d.bytes()
+		return err
+	case 5:
+		if len(d.b)-d.pos < 4 {
+			return fmt.Errorf("truncated fixed32 at %d", d.pos)
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("unsupported wire type %d at %d", wt, d.pos)
+	}
+}

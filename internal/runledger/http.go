@@ -1,0 +1,45 @@
+package runledger
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// TrendHandler serves the cross-run trend analysis as JSON at
+// /trends.json: the ledger at path is re-read per request (it is
+// append-only, so a held run picks up rows recorded after it
+// started), prepended with any fixed baseline sources (e.g. the
+// checked-in BENCH_PR*.json trajectory loaded at startup).
+func TrendHandler(path string, baseline []Source, opt TrendOptions) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sources := append([]Source{}, baseline...)
+		entries, err := Read(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, e := range entries {
+			sources = append(sources, SourceFromEntry(e))
+		}
+		rows := Trend(sources, opt)
+		if rows == nil {
+			rows = []TrendRow{}
+		}
+		names := make([]string, 0, len(sources))
+		for _, s := range sources {
+			names = append(names, s.Name)
+		}
+		if names == nil {
+			names = []string{}
+		}
+		doc := struct {
+			Ledger  string     `json:"ledger"`
+			Sources []string   `json:"sources"`
+			Rows    []TrendRow `json:"rows"`
+		}{Ledger: path, Sources: names, Rows: rows}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"pjds/internal/profiles"
 )
 
 // Operator applies a linear map y = A·x; it abstracts over storage
@@ -78,6 +80,10 @@ func CG(a Operator, x, b []float64, tol float64, maxIter int, probes ...Probe) (
 	if len(x) != n || len(b) != n {
 		return CGResult{}, fmt.Errorf("solver: CG size mismatch |x|=%d |b|=%d dim=%d", len(x), len(b), n)
 	}
+	// Re-label the calling goroutine for the duration of the solve
+	// (and beyond — sequential stage labeling, not scoped nesting;
+	// see internal/profiles).
+	profiles.SetPhase(profiles.PhaseSolver)
 	r := make([]float64, n)
 	if err := a.Apply(r, x); err != nil {
 		return CGResult{}, err
@@ -136,6 +142,7 @@ type PowerResult struct {
 // starting from v0 (or a deterministic default when nil). Probes
 // observe every step with the eigenvalue change as the residual.
 func PowerIteration(a Operator, v0 []float64, tol float64, maxIter int, probes ...Probe) (PowerResult, error) {
+	profiles.SetPhase(profiles.PhaseSolver)
 	n := a.Dim()
 	v := make([]float64, n)
 	if v0 != nil {
@@ -186,6 +193,7 @@ type LanczosResult struct {
 // reorthogonalization is applied — at the modest k used here its
 // O(k²n) cost is irrelevant and it keeps the Ritz values clean.
 func Lanczos(a Operator, k int, v0 []float64) (LanczosResult, error) {
+	profiles.SetPhase(profiles.PhaseSolver)
 	n := a.Dim()
 	if k < 1 {
 		return LanczosResult{}, fmt.Errorf("solver: Lanczos with k = %d", k)

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDashboardShape pins the dashboard page's structure: every
+// section the in-page script renders into must exist, and the
+// registered extra endpoints must be injected so the script knows
+// which optional feeds (/healthz, /spans, /trends.json) to poll.
+func TestDashboardShape(t *testing.T) {
+	RegisterHandler("/trends.json", http.NotFoundHandler())
+	defer RegisterHandler("/trends.json", nil)
+
+	rec := httptest.NewRecorder()
+	DashboardHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/dashboard", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/dashboard status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("/dashboard content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`id="status"`,
+		`id="health"`,
+		`id="ranks"`,
+		`id="solver"`,
+		`id="events"`,
+		`id="trends"`,
+		`id="metrics"`,
+		"const EXTRA_ENDPOINTS",
+		`"/trends.json"`,
+		`fetch("/metrics.json"`,
+		`fetch("/trends.json"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/dashboard missing %q", want)
+		}
+	}
+	if !strings.HasPrefix(body, "<!DOCTYPE html>") {
+		t.Errorf("/dashboard does not start with a doctype")
+	}
+}
+
+// TestMetricsJSONGoldenShape pins the /metrics.json wire format field
+// by field — the dashboard's JS, spmvtop, and ReadSnapshot all parse
+// this shape, so a rename here is a cross-tool break.
+func TestMetricsJSONGoldenShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", L("rank", "0")).Add(2)
+	r.Gauge("depth").Set(1.5)
+	r.Histogram("sizes", []float64{10, 100}).Observe(42)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics.json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", rec.Code)
+	}
+	var doc struct {
+		Metrics []map[string]json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if len(doc.Metrics) != 3 {
+		t.Fatalf("%d series, want 3", len(doc.Metrics))
+	}
+	byName := map[string]map[string]json.RawMessage{}
+	for _, m := range doc.Metrics {
+		var name string
+		if err := json.Unmarshal(m["name"], &name); err != nil {
+			t.Fatalf("series without a name field: %v", m)
+		}
+		byName[name] = m
+	}
+
+	counter := byName["runs_total"]
+	for _, field := range []string{"name", "type", "value", "labels"} {
+		if _, ok := counter[field]; !ok {
+			t.Errorf("counter series missing %q: %v", field, counter)
+		}
+	}
+	var labels map[string]string
+	if err := json.Unmarshal(counter["labels"], &labels); err != nil || labels["rank"] != "0" {
+		t.Errorf("counter labels = %s (err %v), want rank=0", counter["labels"], err)
+	}
+
+	hist := byName["sizes"]
+	for _, field := range []string{"buckets", "sum", "count"} {
+		if _, ok := hist[field]; !ok {
+			t.Errorf("histogram series missing %q: %v", field, hist)
+		}
+	}
+	var typ string
+	if err := json.Unmarshal(hist["type"], &typ); err != nil || typ != "histogram" {
+		t.Errorf("histogram type = %s, want \"histogram\"", hist["type"])
+	}
+
+	// The snapshot must round-trip through the reader every consumer
+	// uses.
+	snap, err := ReadSnapshot(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("round-trip kept %d series, want 3", len(snap))
+	}
+}
+
+// TestServeMuxIncludesTrends: a route registered before Serve shows
+// up on the mux, so /trends.json from cmd/scaling reaches the page.
+func TestServeMuxIncludesTrends(t *testing.T) {
+	RegisterHandler("/trends.json", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ledger":"x","sources":[],"rows":[]}`))
+	}))
+	defer RegisterHandler("/trends.json", nil)
+
+	mux := serveMux(NewRegistry())
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/trends.json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/trends.json status %d", rec.Code)
+	}
+	var doc struct {
+		Rows []any `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/trends.json not JSON: %v", err)
+	}
+}

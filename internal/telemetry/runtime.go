@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// RuntimeSampler publishes Go runtime health — GC pauses, GC CPU,
+// heap size, goroutine count — into a Registry, so the health engine
+// (and anything scraping /metrics) can see GC stalls next to the
+// simulation's own counters. Families:
+//
+//	runtime_gc_pause_seconds_total  counter  total stop-the-world pause
+//	runtime_gc_cpu_seconds_total    counter  CPU spent by the GC
+//	runtime_gc_cycles_total         counter  completed GC cycles
+//	runtime_heap_bytes              gauge    live heap (objects) bytes
+//	runtime_goroutines              gauge    current goroutine count
+//
+// Counters are monotonic by construction: the sampler tracks the
+// previous reading and adds non-negative deltas. One Sample call
+// costs two runtime reads (metrics.Read + ReadMemStats for the exact
+// pause total, which runtime/metrics only exposes as a histogram).
+type RuntimeSampler struct {
+	samples []metrics.Sample
+
+	cPause  *Counter
+	cGCCPU  *Counter
+	cCycles *Counter
+	gHeap   *Gauge
+	gGoros  *Gauge
+
+	prevPauseNs uint64
+	prevGCCPU   float64
+	prevCycles  uint64
+}
+
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCCPU      = "/cpu/classes/gc/total:cpu-seconds"
+)
+
+// NewRuntimeSampler builds a sampler reporting into reg (nil selects
+// the process-default registry).
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	if reg == nil {
+		reg = Default()
+	}
+	reg.Help("runtime_gc_pause_seconds_total", "total GC stop-the-world pause time")
+	reg.Help("runtime_gc_cpu_seconds_total", "total CPU time spent by the garbage collector")
+	reg.Help("runtime_gc_cycles_total", "completed GC cycles")
+	reg.Help("runtime_heap_bytes", "bytes of live heap objects")
+	reg.Help("runtime_goroutines", "current number of goroutines")
+	s := &RuntimeSampler{
+		samples: []metrics.Sample{
+			{Name: rmGoroutines},
+			{Name: rmHeapBytes},
+			{Name: rmGCCycles},
+			{Name: rmGCCPU},
+		},
+		cPause:  reg.Counter("runtime_gc_pause_seconds_total"),
+		cGCCPU:  reg.Counter("runtime_gc_cpu_seconds_total"),
+		cCycles: reg.Counter("runtime_gc_cycles_total"),
+		gHeap:   reg.Gauge("runtime_heap_bytes"),
+		gGoros:  reg.Gauge("runtime_goroutines"),
+	}
+	// Baseline read so the first Sample reports deltas from "sampler
+	// start", not "process start".
+	s.read()
+	return s
+}
+
+// read takes the raw runtime readings and returns them.
+func (s *RuntimeSampler) read() (pauseNs uint64, gcCPU float64, cycles, heap, goros uint64) {
+	metrics.Read(s.samples)
+	for _, sm := range s.samples {
+		switch sm.Name {
+		case rmGoroutines:
+			goros = sm.Value.Uint64()
+		case rmHeapBytes:
+			heap = sm.Value.Uint64()
+		case rmGCCycles:
+			cycles = sm.Value.Uint64()
+		case rmGCCPU:
+			if sm.Value.Kind() == metrics.KindFloat64 {
+				gcCPU = sm.Value.Float64()
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pauseNs = ms.PauseTotalNs
+	s.prevPauseNs, s.prevGCCPU, s.prevCycles = pauseNs, gcCPU, cycles
+	return
+}
+
+// Sample takes one reading and publishes it. Call it on the health
+// ticker (Engine.Start does) or any other periodic loop.
+func (s *RuntimeSampler) Sample() {
+	prevPause, prevGCCPU, prevCycles := s.prevPauseNs, s.prevGCCPU, s.prevCycles
+	pauseNs, gcCPU, cycles, heap, goros := s.read()
+	if pauseNs > prevPause {
+		s.cPause.Add(float64(pauseNs-prevPause) / 1e9)
+	}
+	if gcCPU > prevGCCPU {
+		s.cGCCPU.Add(gcCPU - prevGCCPU)
+	}
+	if cycles > prevCycles {
+		s.cCycles.Add(float64(cycles - prevCycles))
+	}
+	s.gHeap.Set(float64(heap))
+	s.gGoros.Set(float64(goros))
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	runtime.GC() // guarantee at least one cycle between baseline and sample
+	s.Sample()
+
+	snap := map[string]Series{}
+	for _, sr := range reg.Snapshot() {
+		snap[sr.Name] = sr
+	}
+	for _, name := range []string{
+		"runtime_gc_pause_seconds_total",
+		"runtime_gc_cpu_seconds_total",
+		"runtime_gc_cycles_total",
+		"runtime_heap_bytes",
+		"runtime_goroutines",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("family %s missing from snapshot", name)
+		}
+	}
+	if snap["runtime_heap_bytes"].Value <= 0 {
+		t.Fatalf("heap bytes = %v, want > 0", snap["runtime_heap_bytes"].Value)
+	}
+	if snap["runtime_goroutines"].Value < 1 {
+		t.Fatalf("goroutines = %v, want >= 1", snap["runtime_goroutines"].Value)
+	}
+	if snap["runtime_gc_cycles_total"].Value < 1 {
+		t.Fatalf("gc cycles = %v, want >= 1 after forced GC", snap["runtime_gc_cycles_total"].Value)
+	}
+	// Counters must be monotonic across further samples (Add panics
+	// on negative deltas, so surviving another Sample is the check).
+	s.Sample()
+	s.Sample()
+}

@@ -55,6 +55,15 @@
 # scripts/regress.sh (allocs are exact; give the timing metrics a
 # wide band on virtualized hardware, e.g. ns_per_nnz=0.3).
 #
+# pr8 mode: the phase-labeled profiling benchmark. Runs the host
+# benchmark under the CPU profiler with pprof phase labels on, appends
+# the run to the ledger, HARD-FAILS unless >= 90% of CPU samples carry
+# a known phase label (perfreport -profile -check-attributed 0.90),
+# and writes the per-phase attribution to BENCH_PR8.json (schema
+# pjds-profile/v1). The millisecond totals are wall-clock, so gate
+# them with a wide band; the attribution fractions are the stable
+# quantities.
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
 #        scripts/bench.sh pr3 [scale]
@@ -62,6 +71,7 @@
 #        scripts/bench.sh pr5 [scale]
 #        scripts/bench.sh pr6
 #        scripts/bench.sh pr7
+#        scripts/bench.sh pr8 [scale]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -91,8 +101,24 @@ pr7)
     MODE=pr7
     shift
     ;;
+pr8)
+    MODE=pr8
+    shift
+    ;;
 esac
 SCALE="${1:-0.05}"
+
+if [ "$MODE" = pr8 ]; then
+    TMP=$(mktemp -d)
+    trap 'rm -rf "$TMP"' EXIT
+    echo "== phase-labeled profiling benchmark (scale $SCALE) =="
+    go run ./cmd/spmvbench -hostbench -host-kernel blocked -host-iters 3 \
+        -scale "$SCALE" -cpuprofile "$TMP/cpu.pprof" -ledger default >/dev/null
+    go run ./cmd/perfreport -profile "$TMP/cpu.pprof" -check-attributed 0.90
+    go run ./cmd/perfreport -profile "$TMP/cpu.pprof" -json -o BENCH_PR8.json
+    echo "wrote BENCH_PR8.json (gate attribution fractions; ms totals are wall-clock)"
+    exit 0
+fi
 
 if [ "$MODE" = pr4 ]; then
     SEED="${1:-42}"

@@ -11,8 +11,12 @@
 # -hostbench digests must be identical for naive, blocked and sell). The chaos smoke also verifies the
 # flight recorder dumps a perfreport-readable incident trace on the
 # injected crash, and an endpoint smoke asserts a held scaling run
-# serves /metrics, /healthz, /spans, /health and /dashboard with
-# non-empty 200 bodies and that spmvtop renders a frame against it.
+# serves /metrics, /healthz, /spans, /health, /dashboard and
+# /trends.json with non-empty 200 bodies and that spmvtop renders a
+# frame against it. A labeled-profile smoke requires >= 90% of CPU
+# samples to carry a known phase label, and a trend smoke gates the
+# checked-in BENCH_PR*.json trajectory plus a fresh run ledger on
+# sustained cross-run regressions.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -103,7 +107,7 @@ if [ -z "$ADDR" ]; then
     kill "$SCALING_PID" 2>/dev/null || true
     exit 1
 fi
-for p in /metrics /metrics.json /healthz /spans /health /dashboard; do
+for p in /metrics /metrics.json /healthz /spans /health /dashboard /trends.json; do
     CODE=$(curl -s -o "$TMP/body" -w '%{http_code}' "http://$ADDR$p")
     if [ "$CODE" != 200 ] || ! [ -s "$TMP/body" ]; then
         echo "GET $p returned HTTP $CODE ($(wc -c <"$TMP/body") bytes), want non-empty 200" >&2
@@ -127,5 +131,26 @@ echo "== regression-gate self-diff (perfreport) =="
 go run ./cmd/perfreport -ranks 4 -scale 0.02 -modes task -json -o "$TMP/a.json" >/dev/null
 go run ./cmd/perfreport -ranks 4 -scale 0.02 -modes task -json -o "$TMP/b.json" >/dev/null
 scripts/regress.sh "$TMP/a.json" "$TMP/b.json"
+
+echo "== labeled-profile smoke (spmvbench -cpuprofile, perfreport -profile) =="
+# A short host benchmark run under the CPU profiler must come back
+# with >= 90% of its samples attributed to known phase labels — a hot
+# path losing its pprof label shows up here before it muddies any real
+# profile. The run also appends to a fresh ledger (twice, so the trend
+# smoke below has a sustained tail to look at).
+go run ./cmd/spmvbench -hostbench -host-kernel blocked -host-iters 2 \
+    -scale 0.05 -cpuprofile "$TMP/cpu.pprof" -memprofile "$TMP/mem.pprof" \
+    -ledger "$TMP/ledger.jsonl" >/dev/null
+go run ./cmd/spmvbench -hostbench -host-kernel blocked -host-iters 2 \
+    -scale 0.05 -ledger "$TMP/ledger.jsonl" >/dev/null
+go run ./cmd/perfreport -profile "$TMP/cpu.pprof" -check-attributed 0.90
+go run ./cmd/perfreport -profile "$TMP/mem.pprof" >/dev/null
+
+echo "== cross-run trend gate (perfreport -trend over BENCH_PR*.json + ledger) =="
+# The checked-in PR trajectory plus the two fresh ledger entries must
+# pass the sustained-regression gate; the ungated report renders too.
+LEDGER="$TMP/ledger.jsonl" scripts/regress.sh trend
+go run ./cmd/perfreport -trend -ledger "$TMP/ledger.jsonl" \
+    $(ls BENCH_PR*.json | grep -v '\.metrics\.json$' | sort -V) >/dev/null
 
 echo "all checks passed"

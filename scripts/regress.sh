@@ -12,11 +12,34 @@
 # Usage: scripts/regress.sh OLD.json NEW.json [default-tol] [per-metric]
 #   default-tol   relative band, default 0.02 (±2%)
 #   per-metric    overrides like "gflops=0.05,per_iter_seconds=0.1"
+#
+# Trend mode: scripts/regress.sh trend [ARTIFACT...]
+#   Gate on *sustained* cross-run regressions over the whole checked-in
+#   BENCH_PR*.json trajectory (chronological) — or an explicit artifact
+#   list — via perfreport -trend -gate. Set LEDGER to fold a run
+#   ledger's entries in after the artifacts.
 set -eu
 cd "$(dirname "$0")/.."
 
+if [ "${1:-}" = trend ]; then
+    shift
+    if [ $# -eq 0 ]; then
+        # BENCH_PR2.json .. BENCH_PR10.json sort correctly under -V.
+        set -- $(ls BENCH_PR*.json 2>/dev/null | grep -v '\.metrics\.json$' | sort -V)
+    fi
+    if [ $# -lt 1 ]; then
+        echo "trend mode: no BENCH_PR*.json artifacts found" >&2
+        exit 2
+    fi
+    if [ -n "${LEDGER:-}" ]; then
+        exec go run ./cmd/perfreport -trend -gate -ledger "$LEDGER" "$@"
+    fi
+    exec go run ./cmd/perfreport -trend -gate "$@"
+fi
+
 if [ $# -lt 2 ]; then
     echo "usage: scripts/regress.sh OLD.json NEW.json [default-tol] [per-metric]" >&2
+    echo "       scripts/regress.sh trend [ARTIFACT...]" >&2
     exit 2
 fi
 OLD=$1
