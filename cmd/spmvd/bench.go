@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"pjds/internal/faults"
+	"pjds/internal/gpu"
+	"pjds/internal/service"
+)
+
+// benchFaults is the standing chaos of the PR 9 bench: device 0 takes
+// an uncorrectable ECC error mid-run, so the recorded latencies cover
+// a device→host downgrade, not just the sunny path.
+const benchFaults = "ecc rank=0 launch=40"
+
+// runBench is the -bench mode: the chaos swarm under a fixed
+// configuration plus the admission micro-benchmark, written as the
+// BENCH_PR9.json artifact that scripts/regress.sh gates:
+//
+//   - swarm.p50_latency_seconds / p99_latency_seconds (lower-better)
+//   - swarm.throughput_rps (higher-better)
+//   - admission.allocs_per_op — gated to exactly 0 by bench.sh
+//   - swarm.digest_mismatches — must be 0, checked right here
+func runBench(o options, cfg service.Config, out io.Writer) error {
+	if o.out == "" {
+		o.out = "BENCH_PR9.json"
+	}
+	// A stable, saturating configuration: more clients than execution
+	// slots, enough synthetic per-apply latency that queueing (not Go
+	// scheduling noise) dominates the percentiles.
+	if cfg.ApplyDelay == 0 {
+		cfg.ApplyDelay = 200 * time.Microsecond
+		o.applyDelay = cfg.ApplyDelay
+	}
+	if cfg.DeviceFaults == nil {
+		plan, err := faults.Parse(o.seed, benchFaults)
+		if err != nil {
+			return err
+		}
+		o.faultsArg = benchFaults
+		cfg.DeviceFaults = func(i int) gpu.ECCInjector { return plan.DeviceFor(i) }
+	}
+
+	rep, _, err := swarmRun(o, cfg, out)
+	if err != nil {
+		return err
+	}
+
+	// The admission fast path, measured standalone: the per-request
+	// constant cost, and the 0-allocs/op steady-state gate.
+	adm := testing.Benchmark(func(b *testing.B) {
+		ab := service.NewAdmitBench()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !ab.Cycle() {
+				b.Fatal("admission benchmark shed a request")
+			}
+		}
+	})
+	fmt.Fprintf(out, "admission fast path: %.1f ns/op, %d allocs/op\n",
+		float64(adm.NsPerOp()), adm.AllocsPerOp())
+
+	doc := map[string]any{
+		"schema": "pjds-spmvd/v1",
+		"config": map[string]any{
+			"devices":        o.devices,
+			"clients":        o.clients,
+			"requests":       o.reqs,
+			"stencil_nx":     o.nx,
+			"apply_delay_ms": o.applyDelay.Seconds() * 1000,
+			"faults":         o.faultsArg,
+			"seed":           o.seed,
+		},
+		"swarm": rep,
+		"admission": map[string]any{
+			"ns_per_op":     float64(adm.NsPerOp()),
+			"allocs_per_op": adm.AllocsPerOp(),
+			"bytes_per_op":  adm.AllocedBytesPerOp(),
+		},
+	}
+	return writeSwarmReport(o, doc, rep, out)
+}

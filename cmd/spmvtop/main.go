@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"pjds/internal/mpi"
 	"pjds/internal/telemetry"
 	"pjds/internal/textplot"
 )
@@ -61,12 +63,24 @@ type spansDoc struct {
 	} `json:"events"`
 }
 
+// tenantDoc mirrors one row of spmvd's /tenants.json.
+type tenantDoc struct {
+	Tenant     string  `json:"tenant"`
+	Admitted   int64   `json:"admitted"`
+	Rejected   int64   `json:"rejected"`
+	InFlight   int64   `json:"in_flight"`
+	Tokens     float64 `json:"tokens"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
 // poll is one fetched view of the endpoint.
 type poll struct {
-	at     time.Time
-	series []telemetry.Series
-	health *healthDoc
-	spans  *spansDoc
+	at      time.Time
+	series  []telemetry.Series
+	health  *healthDoc
+	spans   *spansDoc
+	tenants []tenantDoc
 }
 
 func main() {
@@ -93,30 +107,32 @@ func run(w io.Writer, opt options) error {
 
 	var prev *poll
 	var residualX, residualY []float64
-	// Reconnect with exponential backoff: a run restarting behind the
-	// same -metrics-addr (or one that hasn't bound its port yet) should
-	// be picked up without hammering the endpoint in the meantime.
+	// Reconnect with jittered exponential backoff: a run restarting
+	// behind the same -metrics-addr (or one that hasn't bound its port
+	// yet) should be picked up without hammering the endpoint — and a
+	// fleet of spmvtop instances watching the same endpoint must not
+	// retry in lockstep, so each process decorrelates its schedule from
+	// a seed derived from (addr, pid).
 	minBackoff := opt.interval
 	if minBackoff <= 0 {
 		minBackoff = time.Second
 	}
-	backoff := minBackoff
 	const maxBackoff = 30 * time.Second
+	seed := reconnectSeed(base, os.Getpid())
+	attempt := 0
 	for {
 		cur, err := fetch(client, base)
 		if err != nil {
 			if opt.once {
 				return err
 			}
-			fmt.Fprintf(w, "spmvtop: %v (retrying in %s)\n", err, backoff)
+			backoff := reconnectBackoff(attempt, minBackoff, maxBackoff, reconnectJitterFrac, seed)
+			fmt.Fprintf(w, "spmvtop: %v (retrying in %s)\n", err, backoff.Round(time.Millisecond))
 			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > maxBackoff {
-				backoff = maxBackoff
-			}
+			attempt++
 			continue
 		}
-		backoff = minBackoff
+		attempt = 0
 		if res, it, ok := residualPoint(cur.series); ok {
 			if len(residualX) == 0 || it > residualX[len(residualX)-1] {
 				residualX = append(residualX, it)
@@ -141,8 +157,39 @@ func run(w io.Writer, opt options) error {
 	}
 }
 
-// fetch pulls one consistent-ish view of the endpoint. /healthz and
-// /spans are optional: 404 (subsystem not enabled) leaves them nil.
+// reconnectJitterFrac spreads each reconnect wait ±20% so instances
+// that lost the same endpoint at the same instant fan back out.
+const reconnectJitterFrac = 0.2
+
+// reconnectSeed derives the per-process jitter seed: same addr + same
+// pid replays the same schedule, two processes never share one.
+func reconnectSeed(addr string, pid int) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, addr)
+	return h.Sum64() ^ uint64(pid)
+}
+
+// reconnectBackoff returns the wait before reconnect attempt i
+// (0-based): min·2^i capped at max, then jittered ±frac through the
+// same deterministic stream the mpi retry policy uses. The result
+// always stays inside [capped·(1−frac), capped·(1+frac)).
+func reconnectBackoff(attempt int, min, max time.Duration, frac float64, seed uint64) time.Duration {
+	if min <= 0 {
+		min = time.Second
+	}
+	d := float64(min)
+	for i := 0; i < attempt && d < float64(max); i++ {
+		d *= 2
+	}
+	if max > 0 && d > float64(max) {
+		d = float64(max)
+	}
+	return time.Duration(mpi.Jitter(d, frac, seed, 0, uint64(attempt)))
+}
+
+// fetch pulls one consistent-ish view of the endpoint. /healthz,
+// /spans, and /tenants.json are optional: 404 (subsystem not enabled
+// or not an spmvd) leaves them nil.
 func fetch(client *http.Client, base string) (*poll, error) {
 	resp, err := client.Get(base + "/metrics.json")
 	if err != nil {
@@ -173,6 +220,15 @@ func fetch(client *http.Client, base string) (*poll, error) {
 			var s spansDoc
 			if json.NewDecoder(resp.Body).Decode(&s) == nil {
 				p.spans = &s
+			}
+		}
+		resp.Body.Close()
+	}
+	if resp, err := client.Get(base + "/tenants.json"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			var ts []tenantDoc
+			if json.NewDecoder(resp.Body).Decode(&ts) == nil {
+				p.tenants = ts
 			}
 		}
 		resp.Body.Close()
@@ -329,6 +385,25 @@ func render(w *strings.Builder, opt options, base string, prev, cur *poll, resX,
 			})
 		}
 		fmt.Fprintln(w, "per-rank utilization (busy = kernel vs recv-wait share)")
+		_ = textplot.Table(w, rows)
+		fmt.Fprintln(w)
+	}
+
+	// Per-tenant admission view when the endpoint is an spmvd.
+	if len(cur.tenants) > 0 {
+		rows := [][]string{{"tenant", "admitted", "rejected", "in flight", "tokens", "p50 ms", "p99 ms"}}
+		for _, tn := range cur.tenants {
+			rows = append(rows, []string{
+				tn.Tenant,
+				fmt.Sprintf("%d", tn.Admitted),
+				fmt.Sprintf("%d", tn.Rejected),
+				fmt.Sprintf("%d", tn.InFlight),
+				fmt.Sprintf("%.0f", tn.Tokens),
+				fmt.Sprintf("%.2f", tn.P50Seconds*1e3),
+				fmt.Sprintf("%.2f", tn.P99Seconds*1e3),
+			})
+		}
+		fmt.Fprintln(w, "tenants (spmvd admission)")
 		_ = textplot.Table(w, rows)
 		fmt.Fprintln(w)
 	}

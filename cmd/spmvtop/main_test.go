@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReconnectBackoffBounds: every attempt's wait stays inside the
+// ±frac band around the capped exponential schedule, and later
+// attempts never jitter below the minimum or above max·(1+frac).
+func TestReconnectBackoffBounds(t *testing.T) {
+	const (
+		min  = time.Second
+		max  = 30 * time.Second
+		frac = reconnectJitterFrac
+	)
+	seed := reconnectSeed("http://127.0.0.1:9090", 4242)
+	for attempt := 0; attempt < 20; attempt++ {
+		base := float64(min)
+		for i := 0; i < attempt && base < float64(max); i++ {
+			base *= 2
+		}
+		if base > float64(max) {
+			base = float64(max)
+		}
+		got := float64(reconnectBackoff(attempt, min, max, frac, seed))
+		lo, hi := base*(1-frac), base*(1+frac)
+		if got < lo || got >= hi {
+			t.Fatalf("attempt %d: backoff %s outside [%s, %s)",
+				attempt, time.Duration(got), time.Duration(lo), time.Duration(hi))
+		}
+	}
+}
+
+// TestReconnectBackoffDeterministicPerSeed: the same seed replays the
+// same schedule; different pids watching the same endpoint decorrelate.
+func TestReconnectBackoffDeterministicPerSeed(t *testing.T) {
+	s1 := reconnectSeed("http://127.0.0.1:9090", 100)
+	s2 := reconnectSeed("http://127.0.0.1:9090", 101)
+	if s1 == s2 {
+		t.Fatal("distinct pids produced the same seed")
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		a := reconnectBackoff(attempt, time.Second, 30*time.Second, reconnectJitterFrac, s1)
+		b := reconnectBackoff(attempt, time.Second, 30*time.Second, reconnectJitterFrac, s1)
+		if a != b {
+			t.Fatalf("attempt %d: same seed gave %s then %s", attempt, a, b)
+		}
+	}
+	distinct := 0
+	for attempt := 0; attempt < 10; attempt++ {
+		a := reconnectBackoff(attempt, time.Second, 30*time.Second, reconnectJitterFrac, s1)
+		b := reconnectBackoff(attempt, time.Second, 30*time.Second, reconnectJitterFrac, s2)
+		if a != b {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Fatal("two seeds share an identical schedule; reconnect storm not broken")
+	}
+}
+
+// TestReconnectBackoffZeroFracExact: frac 0 reproduces the plain
+// capped exponential schedule bit for bit.
+func TestReconnectBackoffZeroFracExact(t *testing.T) {
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 30 * time.Second, 30 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := reconnectBackoff(attempt, time.Second, 30*time.Second, 0, 7); got != w {
+			t.Errorf("attempt %d: backoff = %s, want %s", attempt, got, w)
+		}
+	}
+	// A non-positive minimum falls back to one second.
+	if got := reconnectBackoff(0, 0, 30*time.Second, 0, 7); got != time.Second {
+		t.Errorf("min<=0: backoff = %s, want 1s", got)
+	}
+}

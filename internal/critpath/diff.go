@@ -197,7 +197,7 @@ func sign(v float64) int {
 // lower-better (−1) or direction-free (0) from its leaf name.
 func direction(leaf string) int {
 	l := strings.ToLower(leaf)
-	for _, k := range []string{"gflops", "gf_s", "bandwidth", "efficiency", "hit_rate", "speedup", "overlap", "hidden", "fraction_hidden"} {
+	for _, k := range []string{"gflops", "gf_s", "bandwidth", "efficiency", "hit_rate", "speedup", "overlap", "hidden", "fraction_hidden", "throughput"} {
 		if strings.Contains(l, k) {
 			return +1
 		}

@@ -66,6 +66,29 @@ func TestDiffBenchmarkMetricDirections(t *testing.T) {
 	}
 }
 
+// TestDiffServiceMetricDirections: the spmvd artifacts carry
+// throughput_rps (higher is better) and p50/p99 latency seconds
+// (lower is better — "latency" wins even though "seconds" also
+// appears, both point the same way).
+func TestDiffServiceMetricDirections(t *testing.T) {
+	oldDoc := []byte(`{"throughput_rps":1000,"p99_latency_seconds":0.010}`)
+	newDoc := []byte(`{"throughput_rps":800,"p99_latency_seconds":0.005}`)
+	findings, err := Diff(oldDoc, newDoc, DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, f := range findings {
+		got[f.Path] = f.Verdict
+	}
+	if got["throughput_rps"] != DiffRegression {
+		t.Errorf("throughput_rps verdict %q, want regression on a drop", got["throughput_rps"])
+	}
+	if got["p99_latency_seconds"] != DiffImprovement {
+		t.Errorf("p99_latency_seconds verdict %q, want improvement on a drop", got["p99_latency_seconds"])
+	}
+}
+
 func TestDiffToleranceBands(t *testing.T) {
 	oldDoc := []byte(`{"gflops":100,"seconds":1.0}`)
 	newDoc := []byte(`{"gflops":99,"seconds":1.04}`)

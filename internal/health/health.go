@@ -91,13 +91,18 @@ type Signal struct {
 	PerRank map[string]float64 `json:"per_rank,omitempty"`
 }
 
-// Report is one evaluation of the window.
+// Report is one evaluation of the window. Degraded makes the
+// warn-grade state explicit for clients that only read one field:
+// /healthz serves warn as HTTP 200 (the run is still making progress),
+// so "am I degraded" must be answerable from the body, not the status
+// code.
 type Report struct {
-	Status  Status   `json:"status"`
-	Now     float64  `json:"now"`
-	Window  float64  `json:"window_seconds"`
-	Samples int      `json:"samples"`
-	Signals []Signal `json:"signals"`
+	Status   Status   `json:"status"`
+	Degraded bool     `json:"degraded"`
+	Now      float64  `json:"now"`
+	Window   float64  `json:"window_seconds"`
+	Samples  int      `json:"samples"`
+	Signals  []Signal `json:"signals"`
 }
 
 // sample is one registry snapshot, flattened for rate math.
@@ -162,7 +167,13 @@ var counterNames = []string{
 	"runtime_gc_pause_seconds_total",
 	"runtime_gc_cpu_seconds_total",
 	"runtime_gc_cycles_total",
+	"service_requests_total",
+	"service_rejections_total",
 }
+
+// servicePressureWarnFrac is the shed ratio (rejections over total
+// admission decisions) above which service_pressure warns.
+const servicePressureWarnFrac = 0.5
 
 // gcStallWarnFrac is the pause-time fraction of the window above
 // which gc_stall warns.
@@ -381,6 +392,28 @@ func (e *Engine) evaluateLocked() Report {
 		rep.Signals = append(rep.Signals, sig)
 	}
 
+	// service_pressure: spmvd's admission shed ratio over the window.
+	// Warn-grade: shedding is the designed response to overload (the
+	// server keeps its Eq. 1 working set saturated instead of thrashing
+	// it), but a majority-shed window means clients see mostly 429s and
+	// someone should widen the pool. Only evaluated when an spmvd feeds
+	// the registry.
+	if _, ok := newest.sums["service_requests_total"]; ok {
+		// service_requests_total counts every admission decision,
+		// including the shed ones, so the ratio is shed/requests.
+		requests := delta(oldest, newest, "service_requests_total")
+		shed := delta(oldest, newest, "service_rejections_total")
+		sig := Signal{Name: "service_pressure", Status: Pass}
+		if requests > 0 {
+			sig.Value = shed / requests
+			if sig.Value > servicePressureWarnFrac {
+				sig.Status = Warn
+				sig.Cause = fmt.Sprintf("%.0f%% of %d admission decision(s) shed in window", 100*sig.Value, int(requests))
+			}
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
 	// heartbeat: MPI progress silence. Warn-only by design — a
 	// finished run idling behind -hold must stay healthy, but a
 	// mid-run stall should still surface.
@@ -405,6 +438,7 @@ func (e *Engine) evaluateLocked() Report {
 			rep.Status = s.Status
 		}
 	}
+	rep.Degraded = rep.Status == Warn
 	return rep
 }
 
@@ -453,7 +487,10 @@ func (e *Engine) Stop() {
 
 // Handler serves the engine:
 //
-//	GET /healthz  compact report; HTTP 200 for pass/warn, 503 for fail
+//	GET /healthz  compact report; HTTP 200 for pass and for warn-grade
+//	              degraded (the body carries "status" and "degraded"
+//	              so a 200 is never mistaken for fully healthy),
+//	              503 for fail
 //	GET /health   the report plus the retained sample window
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()

@@ -260,3 +260,71 @@ func TestGCStallAbsentWithoutRuntimeMetrics(t *testing.T) {
 		t.Fatalf("gc_stall evaluated without runtime metrics: %+v", s)
 	}
 }
+
+// TestServicePressureWarnsOnMajorityShed: an spmvd window where most
+// admission decisions were 429s is warn-grade degraded, and the
+// explicit Degraded flag tracks the warn status; it clears when
+// admissions recover.
+func TestServicePressureWarnsOnMajorityShed(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 2})
+	reg.Counter("service_requests_total").Add(0)
+	e.Tick(0)
+
+	// 10 decisions, 8 shed → 80% shed ratio.
+	reg.Counter("service_requests_total").Add(10)
+	reg.Counter("service_rejections_total").Add(8)
+	rep := e.Tick(1)
+	s := signal(rep, "service_pressure")
+	if s == nil || s.Status != Warn || s.Cause == "" {
+		t.Fatalf("service_pressure = %+v, want warn with cause", s)
+	}
+	if math.Abs(s.Value-0.8) > 1e-9 {
+		t.Fatalf("shed ratio = %g, want 0.8", s.Value)
+	}
+	if rep.Status != Warn || !rep.Degraded {
+		t.Fatalf("report = {status %v, degraded %v}, want warn+degraded", rep.Status, rep.Degraded)
+	}
+
+	// Next window: 10 more decisions, none shed → ratio 0, pass again.
+	reg.Counter("service_requests_total").Add(10)
+	rep = e.Tick(2)
+	if s := signal(rep, "service_pressure"); s == nil || s.Status != Pass || s.Value != 0 {
+		t.Fatalf("recovered service_pressure = %+v, want pass with ratio 0", s)
+	}
+	if rep.Degraded {
+		t.Fatal("recovered report still flagged degraded")
+	}
+}
+
+// TestServicePressureAbsentWithoutServiceMetrics: runs that are not an
+// spmvd never grow the signal.
+func TestServicePressureAbsentWithoutServiceMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 4})
+	e.Tick(0)
+	rep := e.Tick(1)
+	if s := signal(rep, "service_pressure"); s != nil {
+		t.Fatalf("service_pressure evaluated without service metrics: %+v", s)
+	}
+}
+
+// TestDegradedFlagMirrorsStatus: Degraded is true exactly for warn —
+// a fail is not "degraded", it is down, and /healthz already says so
+// with a 503.
+func TestDegradedFlagMirrorsStatus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 2})
+	e.Tick(0)
+	if rep := e.Tick(1); rep.Degraded {
+		t.Fatal("pass report flagged degraded")
+	}
+	reg.Counter("gpu_ecc_errors_total").Inc()
+	if rep := e.Tick(2); rep.Status != Warn || !rep.Degraded {
+		t.Fatalf("ECC window = {status %v, degraded %v}, want warn+degraded", rep.Status, rep.Degraded)
+	}
+	reg.Counter("mpi_rank_crashes_total").Inc()
+	if rep := e.Tick(3); rep.Status != Fail || rep.Degraded {
+		t.Fatalf("crash window = {status %v, degraded %v}, want fail without degraded", rep.Status, rep.Degraded)
+	}
+}

@@ -162,10 +162,7 @@ func RunWithOptions(n int, fabric *simnet.Fabric, opt Options, body func(*Comm) 
 		opt.Metrics.Help("mpi_rank_crashes_total", "injected rank crashes")
 		opt.Metrics.Help("mpi_failures_detected_total", "peer deaths observed by the heartbeat failure detector")
 	}
-	retry := opt.Retry
-	if retry.isZero() {
-		retry = DefaultRetry
-	}
+	retry := opt.Retry.normalized()
 	hb := opt.HeartbeatSeconds
 	if hb <= 0 {
 		hb = DefaultHeartbeatSeconds
@@ -494,7 +491,10 @@ func (r *Request) Wait() error {
 		// timeout+backoff per lost attempt, starting from when both the
 		// receiver was waiting and the original copy would have
 		// arrived.
-		pol := c.world.retry
+		// The per-rank policy view: with jitter enabled, this rank's
+		// backoff schedule is decorrelated from every other rank's, so
+		// a shared drop burst can't re-synchronize the retries.
+		pol := c.world.retry.ForRank(c.rank)
 		lost := m.DropAttempts
 		if lost > pol.MaxRetries {
 			charged := pol.totalBackoff(pol.MaxRetries)

@@ -202,3 +202,168 @@ func TestSendOutOfRangeSurfacesTypedError(t *testing.T) {
 		t.Fatalf("err = %v, want *simnet.RangeError", err)
 	}
 }
+
+// TestJitterBounds: every jittered step stays strictly inside the
+// ±frac band around the unjittered schedule, including steps parked at
+// the MaxBackoffSeconds cap (jitter applies after the cap).
+func TestJitterBounds(t *testing.T) {
+	pol := RetryPolicy{
+		MaxRetries:        12,
+		TimeoutSeconds:    50e-6,
+		BackoffFactor:     2,
+		MaxBackoffSeconds: 1e-3,
+		JitterFrac:        0.25,
+		JitterSeed:        0xdecade,
+	}
+	for rank := 0; rank < 64; rank++ {
+		rp := pol.ForRank(rank)
+		for i := 0; i <= pol.MaxRetries; i++ {
+			base := pol.BackoffSeconds(i)
+			got := rp.BackoffSeconds(i)
+			lo, hi := base*(1-pol.JitterFrac), base*(1+pol.JitterFrac)
+			if got < lo || got >= hi {
+				t.Fatalf("rank %d attempt %d: jittered %g outside [%g, %g)", rank, i, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestJitterDeterministicPerRank: the same (seed, rank, attempt)
+// always reproduces the same step, and distinct ranks decorrelate —
+// that decorrelation is the whole point of the jitter.
+func TestJitterDeterministicPerRank(t *testing.T) {
+	pol := DefaultRetry
+	pol.JitterFrac, pol.JitterSeed = 0.5, 7
+
+	r3 := pol.ForRank(3)
+	if a, b := r3.BackoffSeconds(2), pol.ForRank(3).BackoffSeconds(2); a != b {
+		t.Fatalf("same (seed, rank, attempt) not reproducible: %g != %g", a, b)
+	}
+
+	distinct := 0
+	for i := 0; i <= pol.MaxRetries; i++ {
+		if pol.ForRank(0).BackoffSeconds(i) != pol.ForRank(1).BackoffSeconds(i) {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Fatal("ranks 0 and 1 share an identical jittered schedule; retry storm not broken")
+	}
+
+	alt := pol
+	alt.JitterSeed = 8
+	if pol.ForRank(3).BackoffSeconds(2) == alt.ForRank(3).BackoffSeconds(2) {
+		t.Error("different seeds produced the same step (suspicious mixing)")
+	}
+}
+
+// TestJitterZeroFracIsIdentity: the default JitterFrac of 0 leaves the
+// schedule bit-identical — pre-jitter artifacts must replay exactly.
+func TestJitterZeroFracIsIdentity(t *testing.T) {
+	pol := DefaultRetry
+	for rank := 0; rank < 4; rank++ {
+		rp := pol.ForRank(rank)
+		for i := 0; i <= pol.MaxRetries; i++ {
+			if got, want := rp.BackoffSeconds(i), pol.BackoffSeconds(i); got != want {
+				t.Fatalf("rank %d attempt %d: frac=0 changed step %g -> %g", rank, i, want, got)
+			}
+		}
+		if got, want := rp.totalBackoff(pol.MaxRetries+1), pol.totalBackoff(pol.MaxRetries+1); got != want {
+			t.Fatalf("rank %d: frac=0 changed totalBackoff %g -> %g", rank, want, got)
+		}
+	}
+}
+
+// TestJitterTotalBackoffSumsSteps: a rank's total charge is exactly
+// the sum of its per-attempt jittered steps.
+func TestJitterTotalBackoffSumsSteps(t *testing.T) {
+	pol := DefaultRetry
+	pol.JitterFrac, pol.JitterSeed = 0.3, 99
+	rp := pol.ForRank(5)
+	sum := 0.0
+	for i := 0; i < 6; i++ {
+		sum += rp.BackoffSeconds(i)
+	}
+	if got := rp.totalBackoff(6); got != sum {
+		t.Fatalf("totalBackoff(6) = %g, want sum of steps %g", got, sum)
+	}
+}
+
+// TestJitterOnlyPolicyKeepsDefaults: a policy whose only non-zero
+// fields are the jitter knobs still selects the DefaultRetry schedule
+// (the four schedule fields are zero), with the jitter carried over
+// instead of silently dropped.
+func TestJitterOnlyPolicyKeepsDefaults(t *testing.T) {
+	got := RetryPolicy{JitterFrac: 0.2, JitterSeed: 1}.normalized()
+	want := DefaultRetry
+	want.JitterFrac, want.JitterSeed = 0.2, 1
+	if got != want {
+		t.Fatalf("normalized jitter-only policy = %+v, want %+v", got, want)
+	}
+
+	// A non-zero schedule passes through untouched, jitter included.
+	explicit := RetryPolicy{MaxRetries: 3, TimeoutSeconds: 1e-6, JitterFrac: 0.1, JitterSeed: 4}
+	if got := explicit.normalized(); got != explicit {
+		t.Fatalf("normalized explicit policy = %+v, want unchanged %+v", got, explicit)
+	}
+}
+
+// TestJitterClampAndPassthrough: Jitter's edge cases — frac ≥ 1 is
+// clamped below 1 (a step can never reach zero or double), frac ≤ 0
+// and non-positive d pass through unchanged.
+func TestJitterClampAndPassthrough(t *testing.T) {
+	const d = 1e-3
+	for step := uint64(0); step < 256; step++ {
+		got := Jitter(d, 5, 1, 2, step)
+		if got <= 0 || got >= 2*d {
+			t.Fatalf("step %d: frac clamp failed, Jitter = %g outside (0, %g)", step, got, 2*d)
+		}
+	}
+	if got := Jitter(d, 0, 1, 2, 3); got != d {
+		t.Errorf("frac=0: Jitter = %g, want %g", got, d)
+	}
+	if got := Jitter(d, -1, 1, 2, 3); got != d {
+		t.Errorf("frac<0: Jitter = %g, want %g", got, d)
+	}
+	if got := Jitter(0, 0.5, 1, 2, 3); got != 0 {
+		t.Errorf("d=0: Jitter = %g, want 0", got)
+	}
+	if got := Jitter(-d, 0.5, 1, 2, 3); got != -d {
+		t.Errorf("d<0: Jitter = %g, want %g", got, -d)
+	}
+}
+
+// TestRecvChargesJitteredBackoff: end to end through RunWithOptions, a
+// jittered policy still charges the receiver a total inside the ±frac
+// band of the unjittered schedule — the wiring in Recv really goes
+// through ForRank.
+func TestRecvChargesJitteredBackoff(t *testing.T) {
+	pol := RetryPolicy{
+		MaxRetries:     4,
+		TimeoutSeconds: 100e-6,
+		BackoffFactor:  2,
+		JitterFrac:     0.25,
+		JitterSeed:     11,
+	}
+	const lost = 2
+	clocks, err := RunWithOptions(2, fabric(), Options{Faults: dropAll{lost}, Retry: pol},
+		func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 0, nil, 64)
+			}
+			_, err := c.Recv(0, 0)
+			return err
+		})
+	if err != nil {
+		t.Fatalf("RunWithOptions: %v", err)
+	}
+	charged := clocks[1]
+	want := pol.ForRank(1).totalBackoff(lost)
+	lo, hi := pol.totalBackoff(lost)*(1-pol.JitterFrac), pol.totalBackoff(lost)*(1+pol.JitterFrac)
+	if charged < want {
+		t.Errorf("rank 1 clock %g < jittered backoff charge %g", charged, want)
+	}
+	if charged < lo || charged > hi+pol.TimeoutSeconds*8 {
+		t.Errorf("rank 1 clock %g outside plausible band [%g, %g] of unjittered schedule", charged, lo, hi)
+	}
+}

@@ -69,6 +69,58 @@ func TestReadTolerant(t *testing.T) {
 	}
 }
 
+// TestReadTruncatedTrailingLine: a crash mid-Append leaves a partial
+// JSON object with no newline at the tail. The tolerant reader must
+// return every complete entry and nil error — a half-written last
+// line must never poison the whole history.
+func TestReadTruncatedTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	for _, gf := range []float64{10, 12} {
+		if err := Append(path, Entry{Tool: "spmvd", Metrics: map[string]float64{"gflops": gf}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last line mid-object (drop its closing half and the
+	// trailing newline), exactly what an interrupted write leaves.
+	cut := bytes.TrimRight(whole, "\n")
+	cut = cut[:len(cut)-len(cut)/4]
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read on truncated ledger: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Metrics["gflops"] != 10 {
+		t.Fatalf("entries = %+v, want just the first complete entry", entries)
+	}
+
+	// The trend pipeline over the surviving entries is unaffected.
+	rows := Trend([]Source{SourceFromEntry(entries[0])}, TrendOptions{})
+	if len(rows) == 0 {
+		t.Fatal("trend over surviving entries produced no rows")
+	}
+
+	// Corrupt binary garbage on the tail (torn sector, not just a cut
+	// JSON prefix) is equally non-fatal.
+	garbage := append(append([]byte{}, whole...), []byte("\x00\xff{\"schema\":\x7f garbled")...)
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = Read(path)
+	if err != nil {
+		t.Fatalf("Read on garbage tail: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries surviving garbage tail, want 2", len(entries))
+	}
+}
+
 func TestFingerprintStable(t *testing.T) {
 	a := Fingerprint("HMEp", 100, 100, 1000)
 	b := Fingerprint("HMEp", 100, 100, 1000)

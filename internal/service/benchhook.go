@@ -1,0 +1,39 @@
+package service
+
+import "time"
+
+// AdmitBench exposes the admission fast path to cmd/spmvd -bench,
+// which measures it with testing.Benchmark and gates it at 0
+// allocs/op in BENCH_PR9.json (every request crosses this path; under
+// swarm load it must not create garbage). The internal/service
+// benchmark BenchmarkAdmit measures the same cycle in-package.
+type AdmitBench struct {
+	a   *admission
+	tb  *tokenBucket
+	now time.Time
+}
+
+// NewAdmitBench builds the steady-state fixture: a warm token bucket
+// that never empties and an uncontended admission gate.
+func NewAdmitBench() *AdmitBench {
+	return &AdmitBench{
+		a:   newAdmission(4, 16),
+		tb:  newTokenBucket(1e12, 1e12, time.Unix(0, 0)),
+		now: time.Unix(1, 0),
+	}
+}
+
+// Cycle runs one uncontended admission round trip: token-bucket take,
+// execution-slot seize, release. It reports false if any stage
+// unexpectedly sheds (a benchmark setup bug, not a measurement).
+func (ab *AdmitBench) Cycle() bool {
+	if ok, _ := ab.tb.take(ab.now); !ok {
+		return false
+	}
+	full, err := ab.a.admit(nil)
+	if full || err != nil {
+		return false
+	}
+	ab.a.release()
+	return true
+}

@@ -1,0 +1,473 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pjds/internal/core"
+	"pjds/internal/gpu"
+	"pjds/internal/health"
+	"pjds/internal/matgen"
+	"pjds/internal/matrix"
+	"pjds/internal/solver"
+	"pjds/internal/telemetry"
+)
+
+// testMatrixBody renders the standard test matrix (an SPD 2D Laplacian
+// stencil) as a MatrixMarket body.
+func testMatrixBody(t *testing.T) (*matrix.CSR[float64], []byte) {
+	t.Helper()
+	m := matgen.Stencil2D(8, 8)
+	var buf bytes.Buffer
+	if err := matrix.WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatalf("WriteMatrixMarket: %v", err)
+	}
+	return m, buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.APIHandler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func upload(t *testing.T, ts *httptest.Server, name string, body []byte) MatrixInfo {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/matrices?name="+name, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d", resp.StatusCode)
+	}
+	var info MatrixInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("upload decode: %v", err)
+	}
+	return info
+}
+
+// post sends one API request and decodes the JSON response into out.
+func post(t *testing.T, ts *httptest.Server, path string, hdr map[string]string, req, out any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("do %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// referenceDigest computes the digest of y = A·x through a private
+// fault-free host-kernel pipeline — the bit-exact reference every
+// service tier (device or host, faulted or not) must reproduce. The
+// pJDS layout fixes its own in-row summation order, so the reference
+// is the host kernel, not a naive CSR loop.
+func referenceDigest(t *testing.T, m *matrix.CSR[float64], x []float64) string {
+	t.Helper()
+	op, err := solver.NewPermutedPJDS(m, core.Options{})
+	if err != nil {
+		t.Fatalf("reference operator: %v", err)
+	}
+	defer op.Close()
+	n := m.NRows
+	xp := op.Enter(make([]float64, n), x)
+	yp := make([]float64, n)
+	if err := op.Apply(yp, xp); err != nil {
+		t.Fatalf("reference apply: %v", err)
+	}
+	return DigestVector(op.Leave(make([]float64, n), yp))
+}
+
+func TestUploadDedupAndSpMVDigest(t *testing.T) {
+	m, body := testMatrixBody(t)
+	_, ts := newTestServer(t, Config{Devices: 2})
+
+	info := upload(t, ts, "first", body)
+	if info.Shared {
+		t.Fatalf("first upload reported Shared")
+	}
+	if info.Rows != m.NRows || info.Nnz != int64(len(m.Val)) {
+		t.Fatalf("info = %+v, want %dx%d nnz %d", info, m.NRows, m.NCols, len(m.Val))
+	}
+	dup := upload(t, ts, "second", body)
+	if !dup.Shared || dup.ID != info.ID {
+		t.Fatalf("duplicate upload not deduplicated: %+v vs %+v", dup, info)
+	}
+
+	var res SpMVResult
+	resp := post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 7}, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spmv: HTTP %d", resp.StatusCode)
+	}
+	if res.Tier != "device" {
+		t.Fatalf("tier = %q, want device", res.Tier)
+	}
+	if want := referenceDigest(t, m, SeedVector(m.NRows, 7)); res.Digest != want {
+		t.Fatalf("digest %s != reference %s", res.Digest, want)
+	}
+
+	// Unknown matrix → 404.
+	resp = post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: "nope"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown matrix: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// eccAt fires an uncorrectable ECC event at one launch index.
+type eccAt struct {
+	mu sync.Mutex
+	n  int
+	at int
+}
+
+func (e *eccAt) ECCEvent(string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l := e.n
+	e.n++
+	return l == e.at
+}
+
+func TestECCDowngradeBitIdentical(t *testing.T) {
+	m, body := testMatrixBody(t)
+	// Every device takes an ECC hit on its first launch: the ladder
+	// must walk device→host mid-request without changing one bit.
+	s, ts := newTestServer(t, Config{
+		Devices:      2,
+		DeviceFaults: func(int) gpu.ECCInjector { return &eccAt{at: 0} },
+	})
+	info := upload(t, ts, "m", body)
+
+	var res SpMVResult
+	resp := post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 3}, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spmv under ECC: HTTP %d", resp.StatusCode)
+	}
+	if res.Tier != "host" {
+		t.Fatalf("tier = %q, want host after mid-request ECC downgrade", res.Tier)
+	}
+	if want := referenceDigest(t, m, SeedVector(m.NRows, 3)); res.Digest != want {
+		t.Fatalf("ECC downgrade changed bits: digest %s != reference %s", res.Digest, want)
+	}
+
+	var solve SolveResult
+	resp = post(t, ts, "/v1/solve", nil, SolveRequest{Matrix: info.ID, Seed: 5}, &solve)
+	if resp.StatusCode != http.StatusOK || !solve.Converged {
+		t.Fatalf("solve under ECC: HTTP %d, %+v", resp.StatusCode, solve)
+	}
+
+	// Burn through the remaining device (pool order is not fixed), then
+	// confirm the fleet is fully downgraded.
+	for i := 0; i < 2; i++ {
+		post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 3}, nil)
+	}
+	st := s.StatusNow()
+	if st.DevicesHealthy != 0 || st.Tier != "host" {
+		t.Fatalf("after ECC on all boards: healthy=%d tier=%s, want 0/host", st.DevicesHealthy, st.Tier)
+	}
+	if st.HostFallbacks == 0 {
+		t.Fatalf("host fallbacks not counted")
+	}
+
+	// The fault-free control must agree bit for bit on the solve too.
+	_, ctrl := newTestServer(t, Config{Devices: 2})
+	cinfo := upload(t, ctrl, "m", body)
+	var want SolveResult
+	if resp := post(t, ctrl, "/v1/solve", nil, SolveRequest{Matrix: cinfo.ID, Seed: 5}, &want); resp.StatusCode != http.StatusOK {
+		t.Fatalf("control solve: HTTP %d", resp.StatusCode)
+	}
+	if want.Digest != solve.Digest {
+		t.Fatalf("faulted solve digest %s != fault-free %s", solve.Digest, want.Digest)
+	}
+}
+
+func TestQuotaShedsWith429(t *testing.T) {
+	_, body := testMatrixBody(t)
+	_, ts := newTestServer(t, Config{Devices: 1, TenantRate: 0.001, TenantBurst: 1})
+	info := upload(t, ts, "m", body)
+
+	hdr := map[string]string{HeaderTenant: "alice"}
+	if resp := post(t, ts, "/v1/spmv", hdr, SpMVRequest{Matrix: info.ID, Seed: 1}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: HTTP %d", resp.StatusCode)
+	}
+	var eb errorBody
+	resp := post(t, ts, "/v1/spmv", hdr, SpMVRequest{Matrix: info.ID, Seed: 1}, &eb)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over quota: HTTP %d, want 429", resp.StatusCode)
+	}
+	if eb.Reason != "quota" || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("over quota: reason=%q Retry-After=%q", eb.Reason, resp.Header.Get("Retry-After"))
+	}
+	// Another tenant's bucket is untouched.
+	if resp := post(t, ts, "/v1/spmv", map[string]string{HeaderTenant: "bob"}, SpMVRequest{Matrix: info.ID, Seed: 1}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// waitFor polls until cond holds or the test times out.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueueFullShedsWith429(t *testing.T) {
+	_, body := testMatrixBody(t)
+	s, ts := newTestServer(t, Config{Devices: 1, MaxInFlight: 1, QueueDepth: 1, ApplyDelay: 300 * time.Millisecond})
+	info := upload(t, ts, "m", body)
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 1}, nil)
+			codes[i] = resp.StatusCode
+		}()
+		if i == 0 {
+			waitFor(t, "request executing", func() bool { return s.adm.inFlight() == 1 })
+		} else {
+			waitFor(t, "request queued", func() bool { return s.adm.queueDepth() == 1 })
+		}
+	}
+	// Slot busy, queue full: the third request is shed immediately.
+	var eb errorBody
+	resp := post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 1}, &eb)
+	if resp.StatusCode != http.StatusTooManyRequests || eb.Reason != "queue_full" {
+		t.Fatalf("full queue: HTTP %d reason %q, want 429 queue_full", resp.StatusCode, eb.Reason)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d, want 200", i, c)
+		}
+	}
+}
+
+func TestDeadlineCheckpointsSolve(t *testing.T) {
+	_, body := testMatrixBody(t)
+	_, ts := newTestServer(t, Config{Devices: 1, ApplyDelay: 30 * time.Millisecond})
+	info := upload(t, ts, "m", body)
+
+	var res SolveResult
+	resp := post(t, ts, "/v1/solve",
+		map[string]string{HeaderDeadlineMs: "120"},
+		SolveRequest{Matrix: info.ID, Seed: 2, Tol: 1e-300, MaxIter: 100000}, &res)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline mid-solve: HTTP %d, want 503", resp.StatusCode)
+	}
+	if !res.Checkpointed || res.Converged {
+		t.Fatalf("deadline mid-solve: %+v, want checkpointed", res)
+	}
+	if res.Digest == "" {
+		t.Fatalf("checkpoint carries no digest")
+	}
+}
+
+func TestDrainCheckpointsInFlightAndRejectsNew(t *testing.T) {
+	_, body := testMatrixBody(t)
+	s, ts := newTestServer(t, Config{Devices: 1, ApplyDelay: 50 * time.Millisecond})
+	info := upload(t, ts, "m", body)
+
+	type result struct {
+		code int
+		res  SolveResult
+	}
+	ch := make(chan result, 1)
+	go func() {
+		var res SolveResult
+		resp := post(t, ts, "/v1/solve", nil, SolveRequest{Matrix: info.ID, Seed: 9, Tol: 1e-300, MaxIter: 100000}, &res)
+		ch <- result{resp.StatusCode, res}
+	}()
+	waitFor(t, "solve executing", func() bool { return s.adm.inFlight() == 1 })
+
+	rep := s.Drain(30 * time.Millisecond)
+	if rep.Graceful {
+		t.Fatalf("drain reported graceful with a long solve in flight")
+	}
+	if rep.Checkpointed != 1 {
+		t.Fatalf("drain checkpointed %d solves, want 1", rep.Checkpointed)
+	}
+	r := <-ch
+	if r.code != http.StatusServiceUnavailable || !r.res.Checkpointed {
+		t.Fatalf("drained solve: HTTP %d %+v, want 503 checkpointed", r.code, r.res)
+	}
+
+	var eb errorBody
+	resp := post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 1}, &eb)
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Reason != "draining" {
+		t.Fatalf("post-drain request: HTTP %d reason %q, want 503 draining", resp.StatusCode, eb.Reason)
+	}
+	if !s.Draining() {
+		t.Fatalf("Draining() = false after Drain")
+	}
+}
+
+func TestDrainGracefulWhenIdle(t *testing.T) {
+	s := New(Config{Devices: 1, Registry: telemetry.NewRegistry()})
+	defer s.Close()
+	rep := s.Drain(time.Second)
+	if !rep.Graceful || rep.Checkpointed != 0 {
+		t.Fatalf("idle drain: %+v, want graceful", rep)
+	}
+}
+
+func TestBreakerRejectsOnHealthFail(t *testing.T) {
+	_, body := testMatrixBody(t)
+	reg := telemetry.NewRegistry()
+	eng := health.New(reg, health.Options{Window: 5})
+	eng.Tick(0)
+	reg.Counter("mpi_failures_detected_total").Inc()
+	rep := eng.Tick(1)
+	if rep.Status != health.Fail {
+		t.Fatalf("health engine: %v, want fail", rep.Status)
+	}
+
+	_, ts := newTestServer(t, Config{Devices: 1, Registry: reg, Health: eng})
+	info := upload(t, ts, "m", body)
+	var eb errorBody
+	resp := post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 1}, &eb)
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Reason != "breaker_open" {
+		t.Fatalf("fail-grade health: HTTP %d reason %q, want 503 breaker_open", resp.StatusCode, eb.Reason)
+	}
+}
+
+func TestStatusAndTenantsViews(t *testing.T) {
+	_, body := testMatrixBody(t)
+	_, ts := newTestServer(t, Config{Devices: 2})
+	info := upload(t, ts, "m", body)
+	for _, tenant := range []string{"alice", "bob"} {
+		post(t, ts, "/v1/solve", map[string]string{HeaderTenant: tenant}, SolveRequest{Matrix: info.ID, Seed: 1}, nil)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.Served != 2 || st.Devices != 2 || st.Tier != "device" || len(st.Matrices) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/tenants.json")
+	if err != nil {
+		t.Fatalf("tenants: %v", err)
+	}
+	var rows []TenantStatus
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatalf("tenants decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(rows) != 2 || rows[0].Tenant != "alice" || rows[1].Tenant != "bob" {
+		t.Fatalf("tenants = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Admitted != 1 || r.P50Seconds <= 0 {
+			t.Fatalf("tenant row = %+v", r)
+		}
+	}
+}
+
+// TestConcurrentMixedLoad is the race-detector workout: many tenants,
+// mixed spmv/solve, a faulted device, all over one shared matrix.
+func TestConcurrentMixedLoad(t *testing.T) {
+	m, body := testMatrixBody(t)
+	_, ts := newTestServer(t, Config{
+		Devices:      2,
+		MaxInFlight:  4,
+		QueueDepth:   64,
+		DeviceFaults: func(i int) gpu.ECCInjector { return &eccAt{at: 5} },
+	})
+	info := upload(t, ts, "m", body)
+	wantDigest := referenceDigest(t, m, SeedVector(m.NRows, 11))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hdr := map[string]string{HeaderTenant: fmt.Sprintf("tenant-%d", g%4)}
+			for i := 0; i < 8; i++ {
+				if i%2 == 0 {
+					var res SpMVResult
+					resp := post(t, ts, "/v1/spmv", hdr, SpMVRequest{Matrix: info.ID, Seed: 11}, &res)
+					if resp.StatusCode == http.StatusOK && res.Digest != wantDigest {
+						errs <- fmt.Errorf("goroutine %d: digest %s != %s", g, res.Digest, wantDigest)
+						return
+					}
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+						errs <- fmt.Errorf("goroutine %d: HTTP %d", g, resp.StatusCode)
+						return
+					}
+				} else {
+					var res SolveResult
+					resp := post(t, ts, "/v1/solve", hdr, SolveRequest{Matrix: info.ID, Seed: 11}, &res)
+					if resp.StatusCode == http.StatusOK && !res.Converged {
+						errs <- fmt.Errorf("goroutine %d: solve did not converge", g)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRejectsNonSquareUpload(t *testing.T) {
+	s := New(Config{Devices: 1, Registry: telemetry.NewRegistry()})
+	defer s.Close()
+	mm := "%%MatrixMarket matrix coordinate real general\n2 3 2\n1 1 1.0\n2 3 2.0\n"
+	if _, err := s.AddMatrix("rect", strings.NewReader(mm)); err == nil {
+		t.Fatalf("non-square upload accepted")
+	}
+}

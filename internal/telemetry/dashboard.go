@@ -48,6 +48,7 @@ const dashboardHead = `<!DOCTYPE html>
 <h1>pjds live dashboard</h1>
 <div class="muted" id="status">connecting&hellip;</div>
 <div id="health"></div>
+<div id="tenants"></div>
 <h2>per-rank activity</h2>
 <div id="ranks" class="muted">no rank-labelled metrics yet</div>
 <h2>solver convergence</h2>
@@ -162,8 +163,14 @@ function render(doc) {
 }
 
 function renderHealth(doc) {
+  // Three-state banner: pass is HEALTHY, warn-grade degraded (still
+  // HTTP 200 on /healthz) is DEGRADED, fail (503) is FAILING.
   const cls = { pass: "pass", warn: "warn", fail: "fail" }[doc.status] || "muted";
-  let html = '<h2>health: <span class="' + cls + '">' + esc(doc.status) + "</span></h2>";
+  const banner = doc.status === "fail" ? "FAILING"
+    : (doc.degraded || doc.status === "warn") ? "DEGRADED"
+    : doc.status === "pass" ? "HEALTHY" : esc(doc.status);
+  let html = '<h2>health: <span class="' + cls + '">' + banner +
+    '</span> <span class="muted">(' + esc(doc.status) + ")</span></h2>";
   if (doc.signals && doc.signals.length) {
     html += "<table><tr><th>signal</th><th>status</th><th>value</th><th>cause</th></tr>";
     for (const s of doc.signals) {
@@ -174,6 +181,19 @@ function renderHealth(doc) {
     html += "</table>";
   }
   document.getElementById("health").innerHTML = html;
+}
+
+function renderTenants(rows) {
+  if (!rows || !rows.length) { document.getElementById("tenants").innerHTML = ""; return; }
+  let html = '<h2>tenants <span class="muted">(spmvd admission)</span></h2>' +
+    "<table><tr><th>tenant</th><th>admitted</th><th>rejected</th><th>in flight</th><th>tokens</th><th>p50 ms</th><th>p99 ms</th></tr>";
+  for (const t of rows) {
+    html += "<tr><td>" + esc(t.tenant) + "</td><td>" + t.admitted + "</td><td>" + t.rejected +
+      "</td><td>" + t.in_flight + "</td><td>" + fmt(t.tokens) +
+      "</td><td>" + fmt(t.p50_seconds * 1e3) + "</td><td>" + fmt(t.p99_seconds * 1e3) + "</td></tr>";
+  }
+  html += "</table>";
+  document.getElementById("tenants").innerHTML = html;
 }
 
 function renderEvents(doc) {
@@ -227,6 +247,9 @@ async function poll() {
   }
   if (EXTRA_ENDPOINTS.includes("/healthz")) {
     try { renderHealth(await (await fetch("/healthz", { cache: "no-store" })).json()); } catch (e) {}
+  }
+  if (EXTRA_ENDPOINTS.includes("/tenants.json")) {
+    try { renderTenants(await (await fetch("/tenants.json", { cache: "no-store" })).json()); } catch (e) {}
   }
   if (EXTRA_ENDPOINTS.includes("/spans")) {
     try { renderEvents(await (await fetch("/spans", { cache: "no-store" })).json()); } catch (e) {}

@@ -64,6 +64,19 @@
 # them with a wide band; the attribution fractions are the stable
 # quantities.
 #
+# pr9 mode: the multi-tenant service benchmark. Runs spmvd -bench —
+# the chaos client swarm (concurrent tenants, killed clients, tight
+# deadlines, an injected mid-run ECC error forcing a device→host
+# downgrade) against a live server over real HTTP, then the admission
+# fast-path micro-benchmark — and writes p50/p99 end-to-end latency,
+# throughput_rps, shed/downgrade counts and admission ns/op+allocs/op
+# to BENCH_PR9.json (schema pjds-spmvd/v1). HARD-FAILS if the
+# admission path allocates in steady state, if any returned digest
+# differs from the fault-free reference, or if the percentiles are
+# missing. Latency/throughput are wall-clock under load — gate them
+# with a wide band (e.g. p50_latency_seconds=0.5); allocs and
+# digest_mismatches are exact.
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
 #        scripts/bench.sh pr3 [scale]
@@ -72,6 +85,7 @@
 #        scripts/bench.sh pr6
 #        scripts/bench.sh pr7
 #        scripts/bench.sh pr8 [scale]
+#        scripts/bench.sh pr9 [seed]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -105,8 +119,47 @@ pr8)
     MODE=pr8
     shift
     ;;
+pr9)
+    MODE=pr9
+    shift
+    ;;
 esac
 SCALE="${1:-0.05}"
+
+if [ "$MODE" = pr9 ]; then
+    SEED="${1:-42}"
+    echo "== spmvd service benchmark (chaos swarm + admission fast path, seed $SEED) =="
+    go run ./cmd/spmvd -bench -seed "$SEED" -o BENCH_PR9.json
+    awk '
+        /"allocs_per_op":/ {
+            v = $2; gsub(/[^0-9.]/, "", v)
+            if (v + 0 != 0) {
+                print "FAIL: admission fast path allocates " v " allocs/op" > "/dev/stderr"
+                bad = 1
+            }
+        }
+        /"digest_mismatches":/ {
+            v = $2; gsub(/[^0-9.]/, "", v)
+            if (v + 0 != 0) {
+                print "FAIL: " v " digest mismatch(es) under the chaos swarm" > "/dev/stderr"
+                bad = 1
+            }
+        }
+        /"p50_latency_seconds":/ { p50 = $2; gsub(/[^0-9.eE+-]/, "", p50) }
+        /"p99_latency_seconds":/ { p99 = $2; gsub(/[^0-9.eE+-]/, "", p99) }
+        END {
+            if (p50 == "" || p99 == "" || p50 + 0 <= 0 || p99 + 0 <= 0) {
+                print "FAIL: latency percentiles missing from BENCH_PR9.json" > "/dev/stderr"
+                bad = 1
+            } else {
+                printf "gate ok: p50 %.3f ms, p99 %.3f ms, 0 allocs/op, 0 digest mismatches\n", \
+                    p50 * 1000, p99 * 1000
+            }
+            exit bad
+        }' BENCH_PR9.json
+    echo "wrote BENCH_PR9.json (gate with scripts/regress.sh OLD NEW 0.02 p50_latency_seconds=0.5,p99_latency_seconds=0.5,throughput_rps=0.5,ns_per_op=0.3,elapsed_seconds=0.5)"
+    exit 0
+fi
 
 if [ "$MODE" = pr8 ]; then
     TMP=$(mktemp -d)

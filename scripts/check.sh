@@ -16,7 +16,13 @@
 # frame against it. A labeled-profile smoke requires >= 90% of CPU
 # samples to carry a known phase label, and a trend smoke gates the
 # checked-in BENCH_PR*.json trajectory plus a fresh run ledger on
-# sustained cross-run regressions.
+# sustained cross-run regressions. The spmvd smoke runs the chaos
+# client swarm against a live multi-tenant server, then starts two
+# servers (one with an injected ECC fault, one clean), uploads a
+# matrix over the wire, fires concurrent solves at both, requires the
+# solution digests to be bit-identical across the device→host
+# downgrade, and requires both servers to drain cleanly on SIGTERM
+# with exit 0.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,7 +44,8 @@ echo "== go test -race (concurrent packages) =="
 go test -race ./internal/telemetry/... ./internal/simnet/... \
     ./internal/mpi/... ./internal/distmv/... \
     ./internal/faults/... ./internal/distsolver/... \
-    ./internal/flight/... ./internal/health/...
+    ./internal/flight/... ./internal/health/... \
+    ./internal/service/...
 
 echo "== go test -race (gpu worker pool, Workers>1) =="
 go test -race ./internal/gpu/...
@@ -124,6 +131,97 @@ grep -q "per-rank utilization" "$TMP/spmvtop.out" || {
 }
 kill "$SCALING_PID" 2>/dev/null || true
 wait "$SCALING_PID" 2>/dev/null || true
+
+echo "== spmvd chaos swarm smoke (concurrent tenants, injected ECC) =="
+# The synthetic client swarm hammers a live server over HTTP with
+# concurrent tenants, killed clients and tight deadlines while device 0
+# takes an uncorrectable ECC error; spmvd exits non-zero if any
+# returned digest differs from the fault-free reference, if an
+# unexpected error surfaces, or if nothing succeeds.
+go build -o "$TMP/bin/" ./cmd/spmvd
+"$TMP/bin/spmvd" -swarm -swarm-clients 8 -swarm-requests 4 -devices 2 \
+    -faults 'ecc rank=0 launch=5' >"$TMP/swarm.out" 2>&1 || {
+    echo "spmvd swarm smoke failed:" >&2
+    cat "$TMP/swarm.out" >&2
+    exit 1
+}
+
+echo "== spmvd lifecycle smoke (upload, ECC downgrade digests, SIGTERM drain) =="
+# Two live servers — one with an ECC fault on device 0's second
+# launch, one clean — serve the same uploaded matrix. Solves for the
+# same seeds must digest bit-identically (the degradation ladder must
+# never change results), and SIGTERM must drain both to exit 0.
+# max_iter bounds the CG run (HMEp is not SPD, so CG won't converge):
+# a fixed iteration count is deterministic on both sides, where a
+# deadline checkpoint would cut at a wall-clock-dependent iteration.
+"$TMP/bin/spmvd" -addr 127.0.0.1:0 -devices 2 -drain-grace 10s \
+    -faults 'ecc rank=0 launch=2' >"$TMP/svc-ecc.out" 2>&1 &
+ECC_PID=$!
+"$TMP/bin/spmvd" -addr 127.0.0.1:0 -devices 2 -drain-grace 10s \
+    >"$TMP/svc-ok.out" 2>&1 &
+OK_PID=$!
+for side in ecc ok; do
+    ADDR=""
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's|^spmvd listening on http://\(.*\)$|\1|p' "$TMP/svc-$side.out")
+        [ -n "$ADDR" ] && break
+        i=$((i + 1))
+        sleep 0.2
+    done
+    if [ -z "$ADDR" ]; then
+        echo "spmvd ($side) never bound its address:" >&2
+        cat "$TMP/svc-$side.out" >&2
+        kill "$ECC_PID" "$OK_PID" 2>/dev/null || true
+        exit 1
+    fi
+    eval "ADDR_$side=\$ADDR"
+done
+for side in ecc ok; do
+    eval "ADDR=\$ADDR_$side"
+    ID=$(curl -s -X POST -H 'X-Tenant: check' --data-binary @"$TMP/m.mtx" \
+        "http://$ADDR/v1/matrices?name=smoke" |
+        sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+    if [ -z "$ID" ]; then
+        echo "spmvd ($side) upload returned no matrix id" >&2
+        kill "$ECC_PID" "$OK_PID" 2>/dev/null || true
+        exit 1
+    fi
+    CURL_PIDS=""
+    for s in 1 2 3 4; do
+        curl -s -X POST -H 'X-Tenant: check' \
+            -d "{\"matrix\":\"$ID\",\"seed\":$s,\"tol\":1e-8,\"max_iter\":50}" \
+            "http://$ADDR/v1/solve" >"$TMP/solve-$side-$s.json" &
+        CURL_PIDS="$CURL_PIDS $!"
+    done
+    wait $CURL_PIDS
+    grep -h '"digest"' "$TMP"/solve-$side-*.json | sort >"$TMP/digests-$side"
+    [ -s "$TMP/digests-$side" ] || {
+        echo "spmvd ($side) solves returned no digests" >&2
+        kill "$ECC_PID" "$OK_PID" 2>/dev/null || true
+        exit 1
+    }
+done
+cmp "$TMP/digests-ecc" "$TMP/digests-ok" || {
+    echo "spmvd digests differ across the ECC device->host downgrade" >&2
+    kill "$ECC_PID" "$OK_PID" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$ECC_PID" "$OK_PID"
+wait "$ECC_PID" || {
+    echo "spmvd (ecc) did not exit 0 on SIGTERM:" >&2
+    cat "$TMP/svc-ecc.out" >&2
+    exit 1
+}
+wait "$OK_PID" || {
+    echo "spmvd (ok) did not exit 0 on SIGTERM:" >&2
+    cat "$TMP/svc-ok.out" >&2
+    exit 1
+}
+grep -q 'drained in' "$TMP/svc-ecc.out" && grep -q 'drained in' "$TMP/svc-ok.out" || {
+    echo "spmvd did not report a drain on SIGTERM" >&2
+    exit 1
+}
 
 echo "== regression-gate self-diff (perfreport) =="
 # The simulator is deterministic, so two identical runs must produce
