@@ -30,6 +30,7 @@ import (
 	"pjds/internal/matrix"
 	"pjds/internal/par"
 	"pjds/internal/textplot"
+	"pjds/internal/tuner"
 )
 
 func main() {
@@ -43,12 +44,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("matinfo", flag.ContinueOnError)
 	var (
-		demo    = fs.Bool("demo", false, "walk the Fig. 1 pJDS derivation on the worked example")
-		gen     = fs.String("gen", "", "generate a test matrix: DLR1, DLR2, HMEp, sAMG, UHBR")
-		scale   = fs.Float64("scale", experiments.DefaultScale, "scale for -gen")
-		outMM   = fs.String("out", "", "write the matrix to this MatrixMarket file")
-		workers = fs.Int("workers", 0, "conversion worker count (0 = all cores)")
-		timings = fs.Bool("timings", false, "print ingest and conversion phase timings")
+		demo     = fs.Bool("demo", false, "walk the Fig. 1 pJDS derivation on the worked example")
+		gen      = fs.String("gen", "", "generate a test matrix: DLR1, DLR2, HMEp, sAMG, UHBR")
+		scale    = fs.Float64("scale", experiments.DefaultScale, "scale for -gen")
+		outMM    = fs.String("out", "", "write the matrix to this MatrixMarket file")
+		workers  = fs.Int("workers", 0, "conversion worker count (0 = all cores)")
+		timings  = fs.Bool("timings", false, "print ingest and conversion phase timings")
+		recomm   = fs.Bool("recommend", false, "rank the storage formats by modeled Eq. 1 traffic and show the tuned (C, σ) if the tuning DB has this matrix")
+		tuningDB = fs.String("tuning-db", "", "tuning DB consulted by -recommend (default "+tuner.DefaultPath+")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +109,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  - %s\n", r)
 	}
 
+	if *recomm {
+		if err := printRecommendation(out, m, st, *tuningDB); err != nil {
+			return err
+		}
+	}
+
 	if *outMM != "" {
 		f, err := os.Create(*outMM)
 		if err != nil {
@@ -136,6 +145,49 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// printRecommendation renders the format-selection ranking (all four
+// contenders by modeled Eq. 1 traffic) and, when the tuning DB holds a
+// sweep for this matrix's structure, the measured winner with its
+// tuned parameters.
+func printRecommendation(out io.Writer, m *matrix.CSR[float64], st matrix.Stats, dbPath string) error {
+	lens := make([]int, m.NRows)
+	for i := range lens {
+		lens[i] = m.RowLen(i)
+	}
+	scores := advisor.RankFormats(st, lens, nil)
+	fmt.Fprintf(out, "\nformat ranking (modeled DP bytes/nnz, Eq. 1):\n")
+	rows := [][]string{{"rank", "format", "bytes/nnz", "beta", "why"}}
+	for i, s := range scores {
+		beta := "-"
+		if s.Format != "CRS" && s.Format != "CMRS" {
+			beta = fmt.Sprintf("%.3f", s.Beta)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(i + 1), s.Format,
+			fmt.Sprintf("%.2f", s.BytesPerNnz), beta, s.Reason,
+		})
+	}
+	if err := textplot.Table(out, rows); err != nil {
+		return err
+	}
+
+	if dbPath == "" {
+		dbPath = tuner.DefaultPath
+	}
+	entries, err := tuner.Read(dbPath)
+	if err != nil {
+		return err
+	}
+	e, ok := tuner.Lookup(entries, tuner.Fingerprint(m), "")
+	if !ok {
+		fmt.Fprintf(out, "\ntuned: no entry in %s for this structure (run spmvbench -format auto to sweep)\n", dbPath)
+		return nil
+	}
+	fmt.Fprintf(out, "\ntuned: %s measured %.2f ns/nnz on %s (workers %d, swept %s)\n",
+		e.Winner.Label(), e.Winner.MeasuredNsPerNnz, e.Device, e.Workers, e.Time)
 	return nil
 }
 

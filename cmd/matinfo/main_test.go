@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pjds/internal/experiments"
+	"pjds/internal/tuner"
 )
 
 func TestRunDemo(t *testing.T) {
@@ -52,5 +55,42 @@ func TestRunNoArguments(t *testing.T) {
 	}
 	if err := run([]string{"nonexistent.mtx"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunRecommend: -recommend prints the four-way format ranking and
+// resolves the tuned winner from the DB when a sweep for the same
+// structure fingerprint exists.
+func TestRunRecommend(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "tuning.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "sAMG", "-scale", "0.003", "-recommend", "-tuning-db", db}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"format ranking", "pJDS", "CMRS", "SELL-C-σ", "CRS", "no entry"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Persist a sweep for the same structure; -recommend must surface it.
+	m, err := experiments.Matrix("sAMG", 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tuner.Append(db, tuner.Entry{
+		Fingerprint: tuner.Fingerprint(m), Device: "Tesla C2070", Matrix: "sAMG",
+		Winner: tuner.Cell{Format: "sell", C: 8, Sigma: 256, MeasuredNsPerNnz: 1.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-gen", "sAMG", "-scale", "0.003", "-recommend", "-tuning-db", db}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tuned: SELL-8-256 measured 1.25 ns/nnz") {
+		t.Errorf("tuned winner not surfaced:\n%s", buf.String())
 	}
 }

@@ -39,6 +39,13 @@
 //	    when less than the given fraction of samples carries a known
 //	    phase label (the check.sh smoke gate).
 //
+//	perfreport -tune [-tuning-db .spmv/tuning.jsonl] [-matrix sAMG]
+//	    report the persisted (C, σ) tuning sweeps: every grid cell's
+//	    Eq. 1 traffic prediction next to its measured replay time,
+//	    model vs measured ranks, and the implied effective bandwidth
+//	    (where the two rank columns disagree, the model is missing a
+//	    machine effect).
+//
 //	perfreport -trend [-ledger .spmv/ledger.jsonl] [-gate] A.json B.json ...
 //	    cross-run trend analysis: line up any number of benchmark
 //	    artifacts (chronological order) plus the run ledger's entries
@@ -76,6 +83,7 @@ import (
 	"pjds/internal/runledger"
 	"pjds/internal/telemetry"
 	"pjds/internal/trace"
+	"pjds/internal/tuner"
 )
 
 func main() {
@@ -105,6 +113,8 @@ func run(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 4, "parallel worker count for -convert")
 		profileIn = fs.String("profile", "", "attribute a labeled CPU/heap pprof profile by phase instead of running a scenario")
 		checkAttr = fs.Float64("check-attributed", 0, "with -profile: fail unless at least this fraction of samples carries a known phase label")
+		tuneMode  = fs.Bool("tune", false, "report the tuning DB: measured vs Eq. 1-modeled cost per (C, σ) grid cell, per sweep")
+		tuningDB  = fs.String("tuning-db", "", "tuning DB for -tune (default "+tuner.DefaultPath+")")
 		trendMode = fs.Bool("trend", false, "cross-run trend analysis over positional artifact JSONs (chronological) plus -ledger entries")
 		ledger    = fs.String("ledger", "", "run ledger JSONL to include in -trend (e.g. .spmv/ledger.jsonl)")
 		trendTol  = fs.Float64("trend-tol", 0.05, "relative tolerance band around each metric's historical best")
@@ -130,6 +140,9 @@ func run(args []string, out io.Writer) error {
 		w = f
 	}
 
+	if *tuneMode {
+		return runTuneReport(w, *tuningDB, *matrixArg, fs, *jsonOut)
+	}
 	if *trendMode {
 		opt := runledger.TrendOptions{Tolerance: *trendTol, Sustain: *sustainN}
 		return runTrend(w, fs.Args(), *ledger, opt, *gate, *trendFull, *jsonOut)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pjds/internal/runledger"
+	"pjds/internal/tuner"
 )
 
 // TestScenarioText runs the smallest scenario and checks the report
@@ -314,5 +315,58 @@ func TestTrendLedger(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "spmvbench@") {
 		t.Errorf("ledger entries missing from source list:\n%s", buf.String())
+	}
+}
+
+// TestTuneReport: -tune renders every persisted sweep as a
+// measured-vs-model grid with rank columns and the winner marked;
+// -matrix filters by name; an empty DB is an explicit error.
+func TestTuneReport(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "tuning.jsonl")
+	if err := run([]string{"-tune", "-tuning-db", db}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty tuning DB accepted")
+	}
+	entry := tuner.Entry{
+		Matrix: "sAMG", Fingerprint: "f1", Device: "Tesla C2070",
+		Rows: 100, Cols: 100, Nnz: 700, Workers: 1,
+		Winner: tuner.Cell{Format: "sell", C: 8, Sigma: 256, ModelBytesPerNnz: 16.4, MeasuredNsPerNnz: 1.1},
+		Cells: []tuner.Cell{
+			{Format: "crs", ModelBytesPerNnz: 100.3, Pruned: true},
+			{Format: "pjds", C: 32, Sigma: 100, ModelBytesPerNnz: 16.5, MeasuredNsPerNnz: 1.3},
+			{Format: "sell", C: 8, Sigma: 256, ModelBytesPerNnz: 16.4, MeasuredNsPerNnz: 1.1},
+			{Format: "cmrs", Height: 16, ModelBytesPerNnz: 17.3, MeasuredNsPerNnz: 1.6},
+		},
+	}
+	if err := tuner.Append(db, entry); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-tune", "-tuning-db", db}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sweep sAMG", "SELL-8-256", "winner", "pruned", "model rank", "CMRS-h16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tune report missing %q:\n%s", want, out)
+		}
+	}
+
+	// The winner (lowest measured) must carry measured rank 1, and the
+	// pruned CRS cell must show no measurement.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "SELL-8-256") && !strings.Contains(line, " 1 ") {
+			t.Errorf("winner line lost measured rank 1: %q", line)
+		}
+		if strings.HasPrefix(line, "CRS") && !strings.Contains(line, "-") {
+			t.Errorf("pruned line carries a measurement: %q", line)
+		}
+	}
+
+	// -matrix filters: a name with no sweeps errors.
+	if err := run([]string{"-tune", "-tuning-db", db, "-matrix", "UHBR"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-matrix filter matched a missing sweep")
+	}
+	if err := run([]string{"-tune", "-tuning-db", db, "-matrix", "sAMG", "-json"}, &buf); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"pjds/internal/textplot"
+	"pjds/internal/tuner"
+)
+
+// runTuneReport renders the tuning DB as a measured-vs-model report:
+// one table per persisted sweep, every grid cell with its Eq. 1
+// traffic prediction next to the measured replay time, model and
+// measured ranks side by side, and the implied effective bandwidth
+// (model bytes over measured time) that exposes where the model and
+// the machine disagree. -matrix, when explicitly set, filters sweeps
+// by matrix name.
+func runTuneReport(w io.Writer, dbPath, matrixFilter string, fs *flag.FlagSet, jsonOut bool) error {
+	if dbPath == "" {
+		dbPath = tuner.DefaultPath
+	}
+	filter := ""
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "matrix" {
+			filter = matrixFilter
+		}
+	})
+	entries, err := tuner.Read(dbPath)
+	if err != nil {
+		return err
+	}
+	var keep []tuner.Entry
+	for _, e := range entries {
+		if filter == "" || e.Matrix == filter {
+			keep = append(keep, e)
+		}
+	}
+	if len(keep) == 0 {
+		return fmt.Errorf("no tuning entries in %s (run spmvbench -format auto, or upload through a TuningDB-enabled service)", dbPath)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(keep)
+	}
+	for _, e := range keep {
+		fmt.Fprintf(w, "sweep %s  fingerprint %s  device %s  %dx%d  nnz %d  workers %d  %s\n",
+			e.Matrix, e.Fingerprint, e.Device, e.Rows, e.Cols, e.Nnz, e.Workers, e.Time)
+		if err := renderSweep(w, e); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// renderSweep prints one sweep's grid with model and measured ranks.
+func renderSweep(w io.Writer, e tuner.Entry) error {
+	modelRank := rankBy(e.Cells, func(c tuner.Cell) (float64, bool) {
+		return c.ModelBytesPerNnz, true
+	})
+	measRank := rankBy(e.Cells, func(c tuner.Cell) (float64, bool) {
+		return c.MeasuredNsPerNnz, !c.Pruned && c.MeasuredNsPerNnz > 0
+	})
+	rows := [][]string{{"cell", "model B/nnz", "beta", "measured ns/nnz", "model rank", "meas rank", "eff GB/s", "note"}}
+	for i, c := range e.Cells {
+		meas, mrank, eff := "-", "-", "-"
+		note := ""
+		if c.Pruned {
+			note = "pruned"
+		} else if c.MeasuredNsPerNnz > 0 {
+			meas = fmt.Sprintf("%.2f", c.MeasuredNsPerNnz)
+			mrank = fmt.Sprint(measRank[i])
+			// Model bytes per measured nanosecond = GB/s the machine
+			// would be sustaining if the model's traffic were exact.
+			eff = fmt.Sprintf("%.1f", c.ModelBytesPerNnz/c.MeasuredNsPerNnz)
+		}
+		if c.Label() == e.Winner.Label() {
+			if note != "" {
+				note += ", "
+			}
+			note += "winner"
+		}
+		rows = append(rows, []string{
+			c.Label(),
+			fmt.Sprintf("%.2f", c.ModelBytesPerNnz),
+			fmt.Sprintf("%.3f", c.Beta),
+			meas, fmt.Sprint(modelRank[i]), mrank, eff, note,
+		})
+	}
+	return textplot.Table(w, rows)
+}
+
+// rankBy assigns 1-based ascending ranks over the cells the value
+// function admits; inadmissible cells get rank 0 (rendered "-").
+func rankBy(cells []tuner.Cell, val func(tuner.Cell) (float64, bool)) []int {
+	type kv struct {
+		i int
+		v float64
+	}
+	var adm []kv
+	for i, c := range cells {
+		if v, ok := val(c); ok {
+			adm = append(adm, kv{i, v})
+		}
+	}
+	sort.SliceStable(adm, func(a, b int) bool { return adm[a].v < adm[b].v })
+	out := make([]int, len(cells))
+	for r, a := range adm {
+		out[a.i] = r + 1
+	}
+	return out
+}

@@ -11,6 +11,7 @@
 //	spmvbench -outlook [-scale 0.1]
 //	spmvbench -ablations [-matrix sAMG] [-scale 0.05]
 //	spmvbench -hostbench [-host-kernel blocked] [-host-iters 5] [-scale 0.1]
+//	spmvbench -format auto [-tuning-db .spmv/tuning.jsonl] [-tune-json out.json]
 //
 // Observability: -json writes the Table I measurements as a
 // machine-readable benchmark file, -metrics-out dumps the process-wide
@@ -35,6 +36,7 @@ import (
 	"pjds/internal/profiles"
 	"pjds/internal/runledger"
 	"pjds/internal/telemetry"
+	"pjds/internal/tuner"
 )
 
 func main() {
@@ -57,6 +59,9 @@ func run(args []string, out io.Writer) error {
 		hostBench  = fs.Bool("hostbench", false, "benchmark the CPU host kernels on the Table I matrices (wall-clock on this machine)")
 		hostKernel = fs.String("host-kernel", string(hostkernel.KindBlocked), "host kernel for -hostbench and the process default: naive, blocked, sell")
 		hostIters  = fs.Int("host-iters", 5, "timed applications per matrix for -hostbench")
+		formatArg  = fs.String("format", "", "run the format-selection benchmark: auto (tuner-selected via the tuning DB) or a fixed format (crs, pjds, sell, cmrs)")
+		tuningDB   = fs.String("tuning-db", "", "tuning DB path for -format auto (default "+tuner.DefaultPath+")")
+		tuneJSON   = fs.String("tune-json", "", "write the -format measurements as machine-readable JSON (pjds-tune/v1) to this file")
 		jsonOut    = fs.String("json", "", "write the Table I measurements as machine-readable JSON to this file (implies -table1)")
 		metricsOut = fs.String("metrics-out", "", "after the run, dump telemetry here (Prometheus text; .json selects the JSON snapshot)")
 		metricsAdr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /dashboard, /debug/vars and /debug/pprof on this address during the run")
@@ -87,7 +92,7 @@ func run(args []string, out io.Writer) error {
 	if *jsonOut != "" {
 		*table1 = true
 	}
-	if !*table1 && !*fig2 && !*ablations && !*outlook && !*hostBench {
+	if !*table1 && !*fig2 && !*ablations && !*outlook && !*hostBench && *formatArg == "" {
 		*table1 = true
 	}
 	if *flightOn || *flightDump != "" {
@@ -147,6 +152,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *formatArg != "" {
+		res, err := experiments.RunTuneBench(*formatArg, nil, *scale, *hostIters, *workers, *tuningDB, out)
+		if err != nil {
+			return err
+		}
+		if *tuneJSON != "" {
+			if err := writeTuneJSON(*tuneJSON, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *tuneJSON)
+		}
+	}
 	if *ablations {
 		for _, f := range []func() error{
 			func() error { _, err := experiments.AblationL2(*matrixArg, *scale, out); return err },
@@ -187,6 +204,27 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "ledger: appended run to %s\n", path)
 	}
 	return nil
+}
+
+// writeTuneJSON renders a format-selection result as the pjds-tune/v1
+// schema: one entry per matrix with the auto pick, the pJDS reference
+// it is gated against, and the digest verdict.
+func writeTuneJSON(path string, res *experiments.TuneBenchResult) error {
+	doc := struct {
+		Schema string `json:"schema"`
+		*experiments.TuneBenchResult
+	}{Schema: "pjds-tune/v1", TuneBenchResult: res}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // benchEntry is one (matrix, format, precision, ecc) measurement of

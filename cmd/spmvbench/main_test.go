@@ -93,3 +93,75 @@ func TestRunJSONBench(t *testing.T) {
 		t.Error("metrics dump missing gpu_kernel_gflops")
 	}
 }
+
+// TestRunFormatAuto: the format-selection bench sweeps on the first
+// run (persisting the DB), answers from the cache on the second, the
+// digest gate reports MATCH for every matrix, and the pjds-tune/v1
+// artifact carries the auto-vs-pJDS measurements.
+func TestRunFormatAuto(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "tuning.jsonl")
+	art := filepath.Join(dir, "tune.json")
+	var buf bytes.Buffer
+	args := []string{"-format", "auto", "-scale", "0.003", "-host-iters", "1",
+		"-tuning-db", db, "-tune-json", art}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Format selection benchmark") || !strings.Contains(out, "sweep") {
+		t.Fatalf("first run did not sweep:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") || !strings.Contains(out, "MATCH") {
+		t.Fatalf("digest gate failed:\n%s", out)
+	}
+	raw, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Entries []struct {
+			Matrix       string  `json:"matrix"`
+			Winner       string  `json:"winner"`
+			CacheHit     bool    `json:"cache_hit"`
+			AutoNsPerNnz float64 `json:"auto_ns_per_nnz"`
+			PJDSNsPerNnz float64 `json:"pjds_ns_per_nnz"`
+			DigestMatch  bool    `json:"digest_match"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "pjds-tune/v1" || len(doc.Entries) == 0 {
+		t.Fatalf("artifact schema %q with %d entries", doc.Schema, len(doc.Entries))
+	}
+	for _, e := range doc.Entries {
+		if e.Winner == "" || e.AutoNsPerNnz <= 0 || e.PJDSNsPerNnz <= 0 || !e.DigestMatch || e.CacheHit {
+			t.Fatalf("degenerate artifact entry %+v", e)
+		}
+	}
+	// Second run: every matrix answers from the DB.
+	buf.Reset()
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hit") || strings.Contains(buf.String(), "sweep\n") {
+		t.Fatalf("second run re-swept:\n%s", buf.String())
+	}
+}
+
+// TestRunFormatFixed: a fixed format name bypasses the tuner but
+// still passes the digest gate; an unknown name errors.
+func TestRunFormatFixed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "cmrs", "-scale", "0.003", "-host-iters", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CMRS-h16") || strings.Contains(buf.String(), "MISMATCH") {
+		t.Fatalf("fixed-format run wrong:\n%s", buf.String())
+	}
+	if err := run([]string{"-format", "bogus", "-scale", "0.003"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

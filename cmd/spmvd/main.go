@@ -15,6 +15,12 @@
 //	spmvd -bench          swarm under load + admission micro-benchmark,
 //	                      writing the BENCH_PR9.json artifact
 //
+// With -tuning-db PATH the service runs the (C, σ) auto-tuner once
+// per uploaded matrix structure (internal/tuner), serves it with the
+// winning format, persists winners in the JSONL tuning DB, and
+// publishes service_tuning_lag_ratio so the health engine can flag
+// matrices running slower than their tuned prediction.
+//
 // The service shares one port with the whole observability surface:
 // /metrics, /dashboard, /healthz, /spans, /tenants.json and the /v1
 // API all ride the same telemetry endpoint.
@@ -36,6 +42,7 @@ import (
 	"pjds/internal/runledger"
 	"pjds/internal/service"
 	"pjds/internal/telemetry"
+	"pjds/internal/tuner"
 )
 
 func main() {
@@ -60,6 +67,7 @@ type options struct {
 	flightOn   bool
 	flightDump string
 	ledgerArg  string
+	tuningDB   string
 
 	swarm   bool
 	bench   bool
@@ -89,6 +97,7 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&o.flightOn, "flight", false, "enable the always-on flight recorder (/spans)")
 	fs.StringVar(&o.flightDump, "flight-dump", "", "write a post-incident trace here on severe events (implies -flight)")
 	fs.StringVar(&o.ledgerArg, "ledger", "", "append the run's record to a JSONL run ledger ('default' = "+runledger.DefaultPath+")")
+	fs.StringVar(&o.tuningDB, "tuning-db", "", "tune each uploaded matrix once and persist winners at this JSONL path ('default' = "+tuner.DefaultPath+"; empty disables tuning)")
 	fs.BoolVar(&o.swarm, "swarm", false, "run the in-process chaos swarm instead of serving")
 	fs.BoolVar(&o.bench, "bench", false, "run the swarm + admission micro-benchmark and write the PR 9 bench artifact")
 	fs.IntVar(&o.clients, "swarm-clients", 24, "concurrent swarm clients")
@@ -132,7 +141,11 @@ func run(args []string, out io.Writer) error {
 		TenantBurst:     o.burst,
 		DefaultDeadline: o.deadline,
 		ApplyDelay:      o.applyDelay,
+		TuningDB:        o.tuningDB,
 		Registry:        telemetry.Default(),
+	}
+	if cfg.TuningDB == "default" {
+		cfg.TuningDB = tuner.DefaultPath
 	}
 	if plan != nil {
 		cfg.DeviceFaults = func(i int) gpu.ECCInjector { return plan.DeviceFor(i) }

@@ -61,20 +61,14 @@ type Recommendation struct {
 	Reasons []string
 }
 
-// Recommend analyses the statistics of a matrix for the given device
-// and PCIe link (nil selects the Fermi C2070 and PCIe 2.0 defaults).
-func Recommend(st matrix.Stats, dev *gpu.Device, link *pcie.Link) Recommendation {
+// EstimateAlpha guesses Eq. (1)'s RHS reuse factor α from locality
+// statistics: if the average per-row column span (bytes) fits the
+// RHS-visible share of the L2, gathers mostly hit; otherwise they
+// mostly miss. Interpolates between the ideal 1/N_nzr and 1.
+func EstimateAlpha(st matrix.Stats, dev *gpu.Device) float64 {
 	if dev == nil {
 		dev = gpu.TeslaC2070()
 	}
-	if link == nil {
-		link = pcie.Gen2x16()
-	}
-	var rec Recommendation
-
-	// α estimate: if the average per-row column span (bytes) fits the
-	// RHS-visible share of the L2, gathers mostly hit; otherwise they
-	// mostly miss. Interpolate between the ideal 1/N_nzr and 1.
 	cacheBytes := 0.0
 	if dev.L2 != nil {
 		cacheBytes = float64(dev.L2.Bytes) * dev.L2.RHSFraction
@@ -94,6 +88,20 @@ func Recommend(st matrix.Stats, dev *gpu.Device, link *pcie.Link) Recommendation
 			alpha = 1
 		}
 	}
+	return alpha
+}
+
+// Recommend analyses the statistics of a matrix for the given device
+// and PCIe link (nil selects the Fermi C2070 and PCIe 2.0 defaults).
+func Recommend(st matrix.Stats, dev *gpu.Device, link *pcie.Link) Recommendation {
+	if dev == nil {
+		dev = gpu.TeslaC2070()
+	}
+	if link == nil {
+		link = pcie.Gen2x16()
+	}
+	var rec Recommendation
+	alpha := EstimateAlpha(st, dev)
 	rec.AlphaEstimate = alpha
 
 	// Offload verdict via Eqs. (3)/(4).

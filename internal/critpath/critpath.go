@@ -80,6 +80,7 @@ const (
 	CatCommunication = "communication" // MPI driving, serialization, wire
 	CatImbalance     = "imbalance"     // idle gaps and straggler waits
 	CatRecovery      = "recovery"      // fault handling: retries, detection, checkpoints, rollbacks
+	CatTuning        = "tuning"        // format-selection sweeps: model pruning and timed replays
 	CatOther         = "other"
 )
 
@@ -90,6 +91,7 @@ var verdictFor = map[string]string{
 	CatCommunication: "communication-bound",
 	CatImbalance:     "imbalance-bound",
 	CatRecovery:      "recovery-bound",
+	CatTuning:        "tuning-bound",
 	CatOther:         "other-bound",
 }
 
@@ -98,6 +100,10 @@ var verdictFor = map[string]string{
 // (mpi/net lanes) and internal/distsolver (solver lane).
 func CategoryOf(lane, name string) string {
 	switch lane {
+	case "tune":
+		// The tuner's sweep spans (internal/tuner): model pruning and
+		// per-candidate timed replays.
+		return CatTuning
 	case "recovery":
 		// Checkpoint commits and rollback-restart windows of the
 		// fault-tolerant solver driver.
@@ -304,7 +310,7 @@ func Path(spans []telemetry.Span) PathReport {
 // tie-break by category name).
 func dominantVerdict(cats map[string]float64) string {
 	best, bestSec := CatOther, -1.0
-	for _, cat := range []string{CatCommunication, CatImbalance, CatKernel, CatOther, CatPCIe, CatRecovery} {
+	for _, cat := range []string{CatCommunication, CatImbalance, CatKernel, CatOther, CatPCIe, CatRecovery, CatTuning} {
 		if sec := cats[cat]; sec > bestSec {
 			best, bestSec = cat, sec
 		}

@@ -310,3 +310,22 @@ func TestRecoveryBoundVerdict(t *testing.T) {
 		t.Errorf("recovery seconds = %g", got)
 	}
 }
+
+func TestTuneLaneCategory(t *testing.T) {
+	if got := CategoryOf("tune", "measure:SELL-8-256"); got != CatTuning {
+		t.Fatalf("CategoryOf(tune) = %q, want %q", got, CatTuning)
+	}
+	// A timeline dominated by a tuner sweep must yield the tuning-bound
+	// verdict so perfreport attributes the cost honestly.
+	rep := Path([]telemetry.Span{
+		{Proc: 0, Lane: "tune", Name: "model-prune", Start: 0, End: 0.1},
+		{Proc: 0, Lane: "tune", Name: "measure:pJDS", Start: 0.1, End: 2.0},
+		{Proc: 0, Lane: "gpu", Name: "spMVM", Start: 2.0, End: 2.3},
+	})
+	if rep.Verdict != "tuning-bound" {
+		t.Fatalf("verdict = %q, want tuning-bound (categories %v)", rep.Verdict, rep.Categories)
+	}
+	if rep.Categories[CatTuning] <= rep.Categories[CatKernel] {
+		t.Fatalf("tuning seconds %v not dominant over kernel %v", rep.Categories[CatTuning], rep.Categories[CatKernel])
+	}
+}

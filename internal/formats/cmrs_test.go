@@ -1,0 +1,147 @@
+package formats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pjds/internal/matrix"
+)
+
+// TestCMRSBitIdenticalToCRS: CMRS accumulates each row in CSR element
+// order with a single per-row accumulator, which is exactly the naive
+// reference summation — results must be bit-identical, not merely
+// within tolerance.
+func TestCMRSBitIdenticalToCRS(t *testing.T) {
+	for _, height := range []int{1, 3, 16, 64} {
+		m := randomCSR(257, 190, 0.05, int64(height))
+		c, err := NewCMRS(m, height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 190)
+		rng := rand.New(rand.NewSource(99))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ref := make([]float64, 257)
+		if err := m.MulVec(ref, x); err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, 257)
+		if err := c.MulVec(y, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			if y[i] != ref[i] {
+				t.Fatalf("height=%d: y[%d] = %x, want %x (bit mismatch)", height, i, y[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCMRSGeometry(t *testing.T) {
+	m := randomCSR(100, 80, 0.05, 21)
+	c, err := NewCMRS(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Height != 16 || c.NStrips != (100+15)/16 {
+		t.Errorf("Height=%d NStrips=%d", c.Height, c.NStrips)
+	}
+	if int(c.StripPtr[c.NStrips]) != m.Nnz() {
+		t.Errorf("StripPtr end %d, want nnz %d", c.StripPtr[c.NStrips], m.Nnz())
+	}
+	// Every element's absolute row must land inside its strip and the
+	// stream must be the CSR stream verbatim (no padding, no reorder).
+	e := 0
+	for i := 0; i < m.NRows; i++ {
+		cols, vals := m.Row(i)
+		for k := range vals {
+			strip := 0
+			for int64(e) >= c.StripPtr[strip+1] {
+				strip++
+			}
+			if strip*16+int(c.RowInStrip[e]) != i {
+				t.Fatalf("element %d: strip %d offset %d, want row %d", e, strip, c.RowInStrip[e], i)
+			}
+			if c.Val[e] != vals[k] || int(c.ColIdx[e]) != int(cols[k]) {
+				t.Fatalf("element %d not the CSR stream", e)
+			}
+			e++
+		}
+	}
+	if def, err := NewCMRS(m, 0); err != nil || def.Height != DefaultStripHeight {
+		t.Errorf("default height: %v %v", def, err)
+	}
+}
+
+func TestCMRSValidation(t *testing.T) {
+	m := randomCSR(40, 40, 0.1, 5)
+	if _, err := NewCMRS(m, -1); err == nil {
+		t.Error("negative height accepted")
+	}
+	if _, err := NewCMRS(m, MaxStripHeight+1); err == nil {
+		t.Error("oversized height accepted")
+	}
+	c, err := NewCMRS(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MulVec(make([]float64, 40), make([]float64, 3)); err == nil {
+		t.Error("short x accepted")
+	}
+	if err := c.MulVec(make([]float64, 3), make([]float64, 40)); err == nil {
+		t.Error("short y accepted")
+	}
+}
+
+// TestCMRSEmptyRowsAndTail: empty rows must produce exact zeros and a
+// final partial strip must not read out of bounds.
+func TestCMRSEmptyRowsAndTail(t *testing.T) {
+	coo := matrix.NewCOO[float64](37, 20)
+	for i := 0; i < 37; i += 3 { // rows 1,2 mod 3 stay empty
+		coo.Add(i, i%20, float64(i)+1)
+	}
+	m := coo.ToCSR()
+	c, err := NewCMRS(m, 8) // 37 rows → 5 strips, last covers 5 rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, 37)
+	if err := c.MulVec(y, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		want := 0.0
+		if i%3 == 0 {
+			want = float64(i) + 1
+		}
+		if y[i] != want {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want)
+		}
+	}
+}
+
+// TestCMRSWorkerDeterminism: the parallel strip fill must be
+// bit-identical to the sequential build at any worker count.
+func TestCMRSWorkerDeterminism(t *testing.T) {
+	m := randomCSR(500, 300, 0.03, 17)
+	base, err := NewCMRSWith(m, 16, matrix.ConvertOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 2; w <= 8; w++ {
+		par, err := NewCMRSWith(m, 16, matrix.ConvertOptions{Workers: w, ForceParallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, par) {
+			t.Fatalf("workers=%d: CMRS differs from sequential build", w)
+		}
+	}
+}

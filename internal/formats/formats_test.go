@@ -41,6 +41,10 @@ func allFormats(t *testing.T, m *matrix.CSR[float64]) []Format[float64] {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cmrs, err := NewCMRS(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return []Format[float64]{
 		NewCRS(m),
 		NewELLPACK(m),
@@ -49,6 +53,7 @@ func allFormats(t *testing.T, m *matrix.CSR[float64]) []Format[float64] {
 		jds,
 		sell,
 		sellSorted,
+		cmrs,
 	}
 }
 

@@ -156,7 +156,14 @@ func RunSlicedELL[T matrix.Float](d *Device, s *formats.SlicedELL[T], yp, xp []T
 			},
 		})
 	})
-	return p.run(d, yp, xp, opt), nil
+	st := p.run(d, yp, xp, opt)
+	publishFormatGeometry(opt.Metrics, s.StoredElems(), int64(s.NonZeros()),
+		telemetry.L("kernel", s.Name()),
+		telemetry.L("device", d.Name),
+		telemetry.L("format", s.SELLName()),
+		telemetry.Li("c", s.C),
+		telemetry.Li("sigma", s.SortWindow))
+	return st, nil
 }
 
 // lhsSegments counts the distinct result-vector segments rows [lo, hi)

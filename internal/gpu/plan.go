@@ -51,6 +51,23 @@ type planSource[T matrix.Float] struct {
 	val    []T
 	steps  []int32
 	access func(i, j int) (at int64, c int32)
+
+	// The optional hooks below cover element-parallel kernels (CMRS)
+	// whose warps do not map one lane to one row. All three default to
+	// the row-parallel behaviour when nil.
+	//
+	// mul replaces the default per-lane dot-product executor for one
+	// warp; sum is a warpSize-long scratch buffer. Implementations must
+	// keep warps writing disjoint y rows (the parallel-replay contract)
+	// and accumulate each row in stored column order (the bit-identity
+	// contract).
+	mul func(sum, y, x []T, wbase int, accumulate bool)
+	// lhsRows reports the result rows warp [wbase, wbase+lanes) writes;
+	// nil means rows wbase..wbase+lanes clipped to rows.
+	lhsRows func(wbase, lanes int) (lo, hi int)
+	// metaBytes reports the warp's metadata traffic; nil charges the
+	// flat metaSegs coalesced segments.
+	metaBytes func(wbase, lanes int) int64
 }
 
 // warpPlan is the compiled schedule of one warp: its geometry plus
@@ -130,6 +147,9 @@ func compilePlan[T matrix.Float](d *Device, src planSource[T]) *Plan[T] {
 			wbase: wbase, lanes: lanes, maxLen: maxLen,
 			metaBytes: src.metaSegs * segBytes,
 		}
+		if src.metaBytes != nil {
+			wp.metaBytes = src.metaBytes(wbase, lanes)
+		}
 		for j := 0; j < maxLen; j++ {
 			valSegs.reset()
 			idxSegs.reset()
@@ -155,7 +175,11 @@ func compilePlan[T matrix.Float](d *Device, src planSource[T]) *Plan[T] {
 				}
 			}
 		}
-		wp.lhsSegs = lhsSegments(&lhsSegs, wbase, min(wbase+lanes, src.rows), es, segShift)
+		lhsLo, lhsHi := wbase, min(wbase+lanes, src.rows)
+		if src.lhsRows != nil {
+			lhsLo, lhsHi = src.lhsRows(wbase, lanes)
+		}
+		wp.lhsSegs = lhsSegments(&lhsSegs, lhsLo, lhsHi, es, segShift)
 		p.warps = append(p.warps, wp)
 	}
 	return p
@@ -167,6 +191,10 @@ func compilePlan[T matrix.Float](d *Device, src planSource[T]) *Plan[T] {
 // the rows the warp owns. Warps own disjoint row ranges, so concurrent
 // calls never write the same element.
 func (p *Plan[T]) mulWarp(wp *warpPlan, sum, y, x []T, accumulate bool) {
+	if p.src.mul != nil {
+		p.src.mul(sum, y, x, wp.wbase, accumulate)
+		return
+	}
 	steps, access, val := p.src.steps, p.src.access, p.src.val
 	sum = sum[:wp.lanes]
 	for l := range sum {

@@ -70,3 +70,24 @@ func (s *KernelStats) Publish(reg *telemetry.Registry, extra ...telemetry.Label)
 	reg.Help("gpu_kernel_gflops", "useful GF/s of the last run (as in Table I)")
 	reg.Gauge("gpu_kernel_gflops", lbl...).Set(s.GFlops)
 }
+
+// publishFormatGeometry exports the layout-quality gauges of a
+// parameterized chunked format: the zero-padding overhead
+// β = stored/nnz − 1 and the chunk occupancy nnz/stored = 1/(1+β).
+// Callers attach the parameter labels (c/sigma for SELL-C-σ, height
+// for CMRS), so the tuner's sweep leaves one gauge series per grid
+// cell it compiled.
+func publishFormatGeometry(reg *telemetry.Registry, stored, nnz int64, lbl ...telemetry.Label) {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	beta, occ := 0.0, 1.0
+	if nnz > 0 && stored > 0 {
+		beta = float64(stored)/float64(nnz) - 1
+		occ = float64(nnz) / float64(stored)
+	}
+	reg.Help("gpu_format_zero_padding", "zero-padding overhead beta = stored/nnz - 1 of the compiled layout")
+	reg.Gauge("gpu_format_zero_padding", lbl...).Set(beta)
+	reg.Help("gpu_format_chunk_occupancy", "fraction of stored slots holding genuine non-zeros (1/(1+beta))")
+	reg.Gauge("gpu_format_chunk_occupancy", lbl...).Set(occ)
+}

@@ -175,6 +175,11 @@ var counterNames = []string{
 // admission decisions) above which service_pressure warns.
 const servicePressureWarnFrac = 0.5
 
+// tuningLagWarnRatio is the measured/predicted ns-per-nnz ratio above
+// which a served matrix is flagged as running well below its
+// tuning-DB prediction (>20% slower).
+const tuningLagWarnRatio = 1.2
+
 // gcStallWarnFrac is the pause-time fraction of the window above
 // which gc_stall warns.
 const gcStallWarnFrac = 0.05
@@ -410,6 +415,22 @@ func (e *Engine) evaluateLocked() Report {
 				sig.Status = Warn
 				sig.Cause = fmt.Sprintf("%.0f%% of %d admission decision(s) shed in window", 100*sig.Value, int(requests))
 			}
+		}
+		rep.Signals = append(rep.Signals, sig)
+	}
+
+	// tuning_lag: a served matrix running materially slower than the
+	// tuning DB predicted for its chosen format. Warn-grade: results
+	// stay correct, but the stored (C, σ) pick was made under
+	// conditions that no longer hold (contended host, different worker
+	// width) and a re-tune would likely pick differently. The service
+	// publishes the worst measured/predicted ratio as a gauge; only
+	// evaluated when a tuned service feeds the registry.
+	if lag, ok := newest.maxes["service_tuning_lag_ratio"]; ok {
+		sig := Signal{Name: "tuning_lag", Status: Pass, Value: lag}
+		if lag > tuningLagWarnRatio {
+			sig.Status = Warn
+			sig.Cause = fmt.Sprintf("served spMVM ran %.0f%% slower than its tuning-DB prediction", 100*(lag-1))
 		}
 		rep.Signals = append(rep.Signals, sig)
 	}

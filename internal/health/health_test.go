@@ -328,3 +328,35 @@ func TestDegradedFlagMirrorsStatus(t *testing.T) {
 		t.Fatalf("crash window = {status %v, degraded %v}, want fail without degraded", rep.Status, rep.Degraded)
 	}
 }
+
+func TestTuningLagWarnsPast20Pct(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 3})
+	reg.Gauge("service_tuning_lag_ratio", telemetry.L("matrix", "m1")).Set(1.05)
+	e.Tick(0)
+	rep := e.Tick(1)
+	s := signal(rep, "tuning_lag")
+	if s == nil || s.Status != Pass {
+		t.Fatalf("5%% lag signal = %+v, want pass", s)
+	}
+	// Another served matrix runs 35% below its prediction; the gauge
+	// max over label sets must pick it up without any counter plumbing.
+	reg.Gauge("service_tuning_lag_ratio", telemetry.L("matrix", "m2")).Set(1.35)
+	rep = e.Tick(2)
+	s = signal(rep, "tuning_lag")
+	if s == nil || s.Status != Warn || s.Value != 1.35 || s.Cause == "" {
+		t.Fatalf("35%% lag signal = %+v, want warn at 1.35", s)
+	}
+	if rep.Status != Warn {
+		t.Fatalf("report status = %v, want warn", rep.Status)
+	}
+}
+
+func TestTuningLagAbsentWithoutServedMatrices(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(reg, Options{Window: 3})
+	e.Tick(0)
+	if s := signal(e.Tick(1), "tuning_lag"); s != nil {
+		t.Fatalf("tuning_lag signal present without the gauge: %+v", s)
+	}
+}

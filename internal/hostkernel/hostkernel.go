@@ -18,7 +18,12 @@
 //   - sell: a SELL-C-σ-style kernel over the SlicedELL layout
 //     (Kreutzer et al., arXiv:1307.6209): rows are sorted by length in
 //     windows of σ and processed C at a time, the chunk height playing
-//     the role of the SIMD width.
+//     the role of the SIMD width;
+//   - cmrs: the compressed multi-row storage kernel (Koza et al.,
+//     arXiv:1203.2946): strips of consecutive rows share one
+//     padding-free CSR-ordered element stream with per-element
+//     row-in-strip routing, trading SELL's zero-padding for one
+//     metadata byte per non-zero.
 //
 // Every kernel is bit-identical to the naive reference at any worker
 // count: floating-point sums are accumulated per row in stored column
@@ -60,19 +65,24 @@ const (
 	KindBlocked Kind = "blocked"
 	// KindSELL is the SELL-C-σ-style chunked kernel.
 	KindSELL Kind = "sell"
+	// KindCMRS is the compressed multi-row storage kernel (Koza et
+	// al., arXiv:1203.2946): strips of consecutive rows share one
+	// padding-free CSR-ordered element stream, with a per-element
+	// row-in-strip byte routing products to the right accumulator.
+	KindCMRS Kind = "cmrs"
 )
 
 // ParseKind resolves a -host-kernel flag value.
 func ParseKind(s string) (Kind, error) {
 	switch Kind(s) {
-	case KindNaive, KindBlocked, KindSELL:
+	case KindNaive, KindBlocked, KindSELL, KindCMRS:
 		return Kind(s), nil
 	}
-	return "", fmt.Errorf("hostkernel: unknown kind %q (want naive, blocked, or sell)", s)
+	return "", fmt.Errorf("hostkernel: unknown kind %q (want naive, blocked, sell, or cmrs)", s)
 }
 
 // Kinds lists all kernel kinds in deterministic report order.
-func Kinds() []Kind { return []Kind{KindNaive, KindBlocked, KindSELL} }
+func Kinds() []Kind { return []Kind{KindNaive, KindBlocked, KindSELL, KindCMRS} }
 
 // defaultKind holds the process-wide kernel selection (the CLIs'
 // -host-kernel flag). Empty means KindBlocked.
@@ -126,7 +136,8 @@ type Options struct {
 	// row's columns are unsorted, because only ascending columns keep
 	// the tile-by-tile sum in stored-column order.
 	TileCols int
-	// C is the SELL chunk height (0 = Unroll).
+	// C is the SELL chunk height (0 = Unroll). The CMRS kernel reuses
+	// it as the strip height (0 = formats.DefaultStripHeight).
 	C int
 	// Sigma is the SELL sorting window σ (0 = DefaultSigma).
 	Sigma int
@@ -157,6 +168,8 @@ func New(kind Kind, m *matrix.CSR[float64], opt Options) (Kernel, error) {
 		return NewBlockedCRS(m, opt), nil
 	case KindSELL:
 		return NewSELL(m, opt)
+	case KindCMRS:
+		return NewCMRSKernel(m, opt)
 	}
 	return nil, fmt.Errorf("hostkernel: unknown kind %q", kind)
 }

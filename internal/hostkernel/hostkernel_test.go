@@ -321,3 +321,35 @@ func TestOneShotMulVec(t *testing.T) {
 		}
 	}
 }
+
+// TestCMRSKernelOptions pins the strip-height plumbing: Options.C is
+// the CMRS strip height, invalid heights surface the format error, and
+// an uneven strip count stays bit-identical under parallel workers.
+func TestCMRSKernelOptions(t *testing.T) {
+	m := matgen.PowerLaw(141, 2, 40, 0.7, 31)
+	k, err := NewCMRSKernel(m, Options{Workers: 5, C: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	if k.Layout().Height != 4 {
+		t.Fatalf("Height = %d, want 4", k.Layout().Height)
+	}
+	x := testX(m.NCols)
+	ref := make([]float64, m.NRows)
+	if err := m.MulVec(ref, x); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, m.NRows)
+	if err := k.MulVec(y, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
+			t.Fatalf("y[%d] = %v, reference %v", i, y[i], ref[i])
+		}
+	}
+	if _, err := NewCMRSKernel(m, Options{C: -3}); err == nil {
+		t.Fatal("negative strip height accepted")
+	}
+}

@@ -26,7 +26,8 @@ import (
 // added 0·x would still flip a -0 sum to +0).
 type SELL struct {
 	s      *formats.SlicedELL[float64]
-	bounds []int // per-worker slice ranges, nnz-balanced
+	bounds []int       // per-worker slice ranges, nnz-balanced
+	acc    [][]float64 // per-worker lane accumulators for the generic-C lockstep
 	pool   *par.Pool
 	mt     *meter
 
@@ -72,7 +73,11 @@ func NewSELL(m *matrix.CSR[float64], opt Options) (*SELL, error) {
 	k := &SELL{
 		s:      s,
 		bounds: Chunks(prefix, workers),
+		acc:    make([][]float64, workers),
 		mt:     newMeter(opt.Metrics, string(KindSELL), int64(s.NnzV), s.N, s.NCols),
+	}
+	for w := range k.acc {
+		k.acc[w] = make([]float64, c)
 	}
 	k.runFn = k.run
 	if workers > 1 {
@@ -134,8 +139,9 @@ func (k *SELL) run(w int) {
 			k.slice8(sl)
 		}
 	default:
+		acc := k.acc[w]
 		for sl := lo; sl < hi; sl++ {
-			k.sliceGeneric(sl)
+			k.sliceLockstep(sl, acc)
 		}
 	}
 }
@@ -228,23 +234,42 @@ func (k *SELL) slice8(sl int) {
 	}
 }
 
-// sliceGeneric handles arbitrary chunk heights row by row (stride-C
-// walk of the column-major slice).
-func (k *SELL) sliceGeneric(sl int) {
+// sliceLockstep is the arbitrary-C analogue of slice4/slice8: the
+// worker's preallocated lane accumulators advance together over the
+// slice's common prefix (one shared loop counter, unit-stride walk of
+// the column-major storage), then each lane finishes its ragged tail
+// alone. Per-lane accumulation order is identical to the row-by-row
+// walk, so results stay bit-identical at every C.
+func (k *SELL) sliceLockstep(sl int, acc []float64) {
 	s, x := k.s, k.x
 	C := s.C
-	base := s.SliceStart[sl]
+	r0 := sl * C
+	min := int(s.RowLen[r0])
+	for lane := 1; lane < C; lane++ {
+		if l := int(s.RowLen[r0+lane]); l < min {
+			min = l
+		}
+	}
+	v := s.Val[s.SliceStart[sl]:s.SliceStart[sl+1]]
+	c := s.ColIdx[s.SliceStart[sl]:s.SliceStart[sl+1]]
+	acc = acc[:C]
+	for lane := range acc {
+		acc[lane] = 0
+	}
+	off := 0
+	for j := 0; j < min; j++ {
+		for lane := 0; lane < C; lane++ {
+			acc[lane] += v[off+lane] * x[c[off+lane]]
+		}
+		off += C
+	}
 	y, p := k.y, s.Perm
 	for lane := 0; lane < C; lane++ {
-		i := sl*C + lane
+		i := r0 + lane
 		if i >= s.N {
 			break
 		}
-		var sum float64
-		for j := 0; j < int(s.RowLen[i]); j++ {
-			at := base + int64(j*C+lane)
-			sum += s.Val[at] * x[s.ColIdx[at]]
-		}
+		sum := laneTail(acc[lane], v, c, x, min, int(s.RowLen[i]), C, lane)
 		if k.add {
 			y[p[i]] += sum
 		} else {

@@ -129,17 +129,31 @@ func symValue(rng *rand.Rand) float64 { return 0.1 + 0.9*rng.Float64() }
 // quantum-number blocks have locally similar stencils). Without it,
 // i.i.d. lengths overstate warp-level imbalance and hence the
 // ELLPACK-R penalty.
+//
+// Windows reuse matrix.SortRangeByLengthDesc — the same stable
+// counting sort the σ-windowed SELL-C-σ conversion runs — so the
+// generators and the formats share one sort path.
 func sortWindowsDesc(vals []int, window int) {
-	if window <= 1 {
+	n := len(vals)
+	if window <= 1 || n == 0 {
 		return
 	}
-	for lo := 0; lo < len(vals); lo += window {
-		hi := lo + window
-		if hi > len(vals) {
-			hi = len(vals)
+	maxLen := 0
+	for _, v := range vals {
+		if v > maxLen {
+			maxLen = v
 		}
-		sort.Sort(sort.Reverse(sort.IntSlice(vals[lo:hi])))
 	}
+	perm := matrix.Identity(n)
+	count := make([]int, maxLen+2)
+	for lo := 0; lo < n; lo += window {
+		matrix.SortRangeByLengthDesc(vals, lo, min(lo+window, n), perm, count)
+	}
+	sorted := make([]int, n)
+	for i, p := range perm {
+		sorted[i] = vals[p]
+	}
+	copy(vals, sorted)
 }
 
 // scaleDim shrinks a dimension by the scale factor, keeping at least

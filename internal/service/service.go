@@ -47,6 +47,7 @@ import (
 	"pjds/internal/matrix"
 	"pjds/internal/solver"
 	"pjds/internal/telemetry"
+	"pjds/internal/tuner"
 )
 
 // errAdmissionAborted reports a request whose deadline expired (or
@@ -87,6 +88,12 @@ type Config struct {
 	// aware). Zero in production; the chaos swarm and the drain tests
 	// use it to create controllable overload.
 	ApplyDelay time.Duration
+	// TuningDB, when non-empty, enables tune-on-upload: the first
+	// upload of each distinct matrix (by content fingerprint) runs the
+	// (C, σ) auto-tuner and persists the winner at this JSONL path;
+	// re-uploads and restarts answer from the DB without re-sweeping.
+	// Empty disables tuning entirely.
+	TuningDB string
 	// Registry receives the service telemetry (nil = telemetry.Default()).
 	Registry *telemetry.Registry
 	// Health, when set, drives the reject rung of the ladder.
@@ -106,16 +113,27 @@ type MatrixInfo struct {
 	// entry (same content fingerprint): the tenants share one pJDS
 	// layout and one cached kernel plan.
 	Shared bool `json:"shared,omitempty"`
+	// Tuning results (present only when Config.TuningDB is set):
+	// the auto-tuned winner's label (e.g. "SELL-8-256"), its layout
+	// parameters, the ns/nnz the tuner measured for it, and whether
+	// the answer came from the persisted DB instead of a fresh sweep.
+	TunedFormat    string  `json:"tuned_format,omitempty"`
+	TunedC         int     `json:"tuned_c,omitempty"`
+	TunedSigma     int     `json:"tuned_sigma,omitempty"`
+	TunedHeight    int     `json:"tuned_height,omitempty"`
+	TunedNsPerNnz  float64 `json:"tuned_ns_per_nnz,omitempty"`
+	TuningCacheHit bool    `json:"tuning_cache_hit,omitempty"`
 }
 
 // matrixEntry is one stored matrix: the pJDS-permuted operator shared
 // by every tenant, plus a freelist of host kernels (a PJDSKernel
 // carries per-call state, so concurrent requests must not share one).
 type matrixEntry struct {
-	info MatrixInfo
-	op   *solver.PermutedPJDS
-	kmu  sync.Mutex
-	ks   []*hostkernel.PJDSKernel
+	info  MatrixInfo
+	op    *solver.PermutedPJDS
+	tuned *tuner.Entry // nil unless Config.TuningDB tuned this matrix
+	kmu   sync.Mutex
+	ks    []*hostkernel.PJDSKernel
 }
 
 // kernel takes a host kernel from the freelist, building one when the
@@ -236,6 +254,7 @@ func New(cfg Config) *Server {
 	s.reg.Help("service_device_lost_total", "devices latched lost after an uncorrectable ECC error")
 	s.reg.Help("service_host_fallbacks_total", "applications served by the host kernel instead of a device")
 	s.reg.Help("service_checkpoints_total", "in-flight solves checkpointed by drain or deadline")
+	s.reg.Help("service_tuning_lag_ratio", "measured spMVM ns/nnz over the tuning-DB prediction, per matrix")
 	return s
 }
 
@@ -295,6 +314,9 @@ func (s *Server) AddMatrix(name string, r io.Reader) (MatrixInfo, error) {
 		info := e.info
 		s.mu.Unlock()
 		info.Shared = true
+		if e.tuned != nil {
+			info.TuningCacheHit = true // the shared entry's sweep is reused
+		}
 		return info, nil
 	}
 	s.mu.Unlock()
@@ -308,12 +330,37 @@ func (s *Server) AddMatrix(name string, r io.Reader) (MatrixInfo, error) {
 		info: MatrixInfo{ID: id, Name: name, Rows: csr.NRows, Cols: csr.NCols, Nnz: int64(len(csr.Val))},
 		op:   op,
 	}
+	if s.cfg.TuningDB != "" {
+		// Tune once per content fingerprint: re-uploads of the same
+		// matrix (and restarts against the same DB) answer from the
+		// persisted winner instead of re-sweeping the (C, σ) grid.
+		te, hit, terr := tuner.TuneOrLookup(csr, name, s.cfg.TuningDB, tuner.Config{
+			Device:  s.cfg.Device,
+			Workers: 1,
+			Metrics: s.reg,
+			Now:     s.cfg.Now,
+		})
+		if terr != nil {
+			op.Close()
+			return MatrixInfo{}, fmt.Errorf("service: upload %q: tuning: %w", name, terr)
+		}
+		e.tuned = te
+		e.info.TunedFormat = te.Winner.Label()
+		e.info.TunedC = te.Winner.C
+		e.info.TunedSigma = te.Winner.Sigma
+		e.info.TunedHeight = te.Winner.Height
+		e.info.TunedNsPerNnz = te.Winner.MeasuredNsPerNnz
+		e.info.TuningCacheHit = hit
+	}
 	e.ks = append(e.ks, op.K) // seed the freelist with the operator's own kernel
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prev, ok := s.matrices[id]; ok { // lost the build race
 		info := prev.info
 		info.Shared = true
+		if prev.tuned != nil {
+			info.TuningCacheHit = true
+		}
 		op.Close()
 		return info, nil
 	}
@@ -482,9 +529,11 @@ func (s *Server) SpMV(ctx context.Context, e *matrixEntry, x []float64, wantY bo
 	defer op.close()
 	xp := e.op.Enter(make([]float64, n), x)
 	yp := make([]float64, n)
+	t0 := time.Now()
 	if err := op.Apply(yp, xp); err != nil {
 		return SpMVResult{}, err
 	}
+	s.recordTuningLag(e, time.Since(t0))
 	y := e.op.Leave(make([]float64, n), yp)
 	res := SpMVResult{Digest: DigestVector(y), Tier: op.tierName()}
 	if wantY {
@@ -559,6 +608,21 @@ func (s *Server) Solve(ctx context.Context, e *matrixEntry, b []float64, tol flo
 		return res, err
 	}
 	return res, nil
+}
+
+// recordTuningLag publishes how far a served application ran from its
+// tuning-DB prediction: measured ns/nnz over the winner's tuned
+// ns/nnz, as the per-matrix gauge service_tuning_lag_ratio. The
+// health engine warns past 1.2× (signal "tuning_lag"), catching both
+// stale DB entries and slowdowns the tuner never saw (contention,
+// ApplyDelay, host fallback). No-op when the matrix was not tuned.
+func (s *Server) recordTuningLag(e *matrixEntry, elapsed time.Duration) {
+	if e.tuned == nil || e.tuned.Winner.MeasuredNsPerNnz <= 0 || e.info.Nnz <= 0 {
+		return
+	}
+	measured := float64(elapsed.Nanoseconds()) / float64(e.info.Nnz)
+	s.reg.Gauge("service_tuning_lag_ratio", telemetry.L("matrix", e.info.Name)).
+		Set(measured / e.tuned.Winner.MeasuredNsPerNnz)
 }
 
 // Draining reports whether the server has stopped admitting.

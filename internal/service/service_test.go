@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -469,5 +470,88 @@ func TestRejectsNonSquareUpload(t *testing.T) {
 	mm := "%%MatrixMarket matrix coordinate real general\n2 3 2\n1 1 1.0\n2 3 2.0\n"
 	if _, err := s.AddMatrix("rect", strings.NewReader(mm)); err == nil {
 		t.Fatalf("non-square upload accepted")
+	}
+}
+
+// TestTuneOnUpload: with Config.TuningDB set, the first upload of a
+// matrix sweeps the (C, σ) grid and persists the winner; re-uploads
+// (same tenant or dedup-shared), and a fresh server against the same
+// DB, answer from the cache without re-sweeping. Serving the matrix
+// publishes the per-matrix service_tuning_lag_ratio gauge that feeds
+// the health engine's tuning_lag signal.
+func TestTuneOnUpload(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "tuning.jsonl")
+	reg := telemetry.NewRegistry()
+	_, body := testMatrixBody(t)
+	s, ts := newTestServer(t, Config{Devices: 1, TuningDB: db, Registry: reg})
+
+	info := upload(t, ts, "a", body)
+	if info.TunedFormat == "" || info.TunedNsPerNnz <= 0 {
+		t.Fatalf("upload carried no tuning result: %+v", info)
+	}
+	if info.TuningCacheHit {
+		t.Fatal("first upload claimed a tuning cache hit")
+	}
+	switch info.TunedFormat {
+	case "CRS", "CMRS-h8", "CMRS-h32":
+	default:
+		if info.TunedC <= 0 || info.TunedSigma <= 0 {
+			t.Fatalf("sliced winner %s lost its (C, σ): %+v", info.TunedFormat, info)
+		}
+	}
+
+	// Dedup path: a second tenant's identical upload shares the sweep.
+	shared := upload(t, ts, "b", body)
+	if !shared.Shared || !shared.TuningCacheHit {
+		t.Fatalf("dedup upload did not reuse the sweep: %+v", shared)
+	}
+
+	// Serving publishes the lag gauge under the matrix name.
+	var res SpMVResult
+	post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 7}, &res)
+	var lag float64
+	for _, mt := range reg.Snapshot() {
+		if mt.Name == "service_tuning_lag_ratio" && mt.Labels["matrix"] == "a" {
+			lag = mt.Value
+		}
+	}
+	if lag <= 0 {
+		t.Fatal("SpMV did not publish service_tuning_lag_ratio")
+	}
+
+	// A fresh server (simulated restart) against the same DB answers
+	// from the persisted entry: cache hit, identical winner, and its
+	// registry never counts a sweep.
+	reg2 := telemetry.NewRegistry()
+	s2, ts2 := newTestServer(t, Config{Devices: 1, TuningDB: db, Registry: reg2})
+	info2 := upload(t, ts2, "a-again", body)
+	if !info2.TuningCacheHit || info2.TunedFormat != info.TunedFormat {
+		t.Fatalf("restart re-swept or changed winner: %+v vs %+v", info2, info)
+	}
+	for _, mt := range reg2.Snapshot() {
+		if mt.Name == "tuner_sweeps_total" && mt.Value != 0 {
+			t.Fatalf("restart ran %g sweeps, want 0", mt.Value)
+		}
+	}
+	_ = s
+	_ = s2
+}
+
+// TestTuningDisabledWithoutDB: the zero Config never tunes — no tuned
+// fields on upload, no lag gauge on serve.
+func TestTuningDisabledWithoutDB(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_, body := testMatrixBody(t)
+	_, ts := newTestServer(t, Config{Devices: 1, Registry: reg})
+	info := upload(t, ts, "a", body)
+	if info.TunedFormat != "" || info.TunedNsPerNnz != 0 || info.TuningCacheHit {
+		t.Fatalf("tuning fields set without a TuningDB: %+v", info)
+	}
+	var res SpMVResult
+	post(t, ts, "/v1/spmv", nil, SpMVRequest{Matrix: info.ID, Seed: 7}, &res)
+	for _, mt := range reg.Snapshot() {
+		if mt.Name == "service_tuning_lag_ratio" {
+			t.Fatal("lag gauge published without tuning")
+		}
 	}
 }

@@ -1,0 +1,189 @@
+// Package tuner selects the fastest storage format and geometry for a
+// matrix by sweeping a (C, σ) grid — plus the CRS, pJDS and CMRS
+// contenders — with real timed host-kernel replays, pruning hopeless
+// grid cells with the Eq. 1 traffic model first. Winners persist in a
+// runledger-style JSONL database keyed by matrix fingerprint and
+// device, so a matrix is tuned once and every later upload or
+// benchmark run reuses the stored pick.
+package tuner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pjds/internal/matrix"
+	"pjds/internal/runledger"
+)
+
+// Schema identifies the tuning-DB line format. Readers skip lines
+// whose schema they do not recognize.
+const Schema = "pjds-tuning/v1"
+
+// DefaultPath is where tuning entries live unless a tool overrides it.
+const DefaultPath = ".spmv/tuning.jsonl"
+
+// Cell is one grid candidate: a format plus its geometry, the model's
+// traffic prediction, and (when not pruned) the measured replay speed.
+type Cell struct {
+	// Format is "crs", "pjds", "sell" or "cmrs".
+	Format string `json:"format"`
+	// C and Sigma are the SELL chunk height and sorting window
+	// (pjds records its C=32, σ=n equivalent); Height is the CMRS
+	// strip height.
+	C      int `json:"c,omitempty"`
+	Sigma  int `json:"sigma,omitempty"`
+	Height int `json:"height,omitempty"`
+	// Beta is the predicted zero-padding overhead of the layout.
+	Beta float64 `json:"beta"`
+	// ModelBytesPerNnz is the Eq. 1-style traffic prediction used for
+	// pruning and for the measured-vs-model report.
+	ModelBytesPerNnz float64 `json:"model_bytes_per_nnz"`
+	// MeasuredNsPerNnz is the best-of-iters replay time; 0 when pruned.
+	MeasuredNsPerNnz float64 `json:"measured_ns_per_nnz,omitempty"`
+	// Pruned marks cells the model rejected before measurement.
+	Pruned bool `json:"pruned,omitempty"`
+}
+
+// Label renders the cell for reports: CRS, pJDS, SELL-8-256, CMRS-h16.
+func (c Cell) Label() string {
+	switch c.Format {
+	case "crs":
+		return "CRS"
+	case "pjds":
+		return "pJDS"
+	case "cmrs":
+		return fmt.Sprintf("CMRS-h%d", c.Height)
+	default:
+		return fmt.Sprintf("SELL-%d-%d", c.C, c.Sigma)
+	}
+}
+
+// key identifies a cell inside one sweep (grid dedup).
+func (c Cell) key() string {
+	return fmt.Sprintf("%s/%d/%d/%d", c.Format, c.C, c.Sigma, c.Height)
+}
+
+// Entry is one persisted sweep: the matrix/device key, the full grid
+// with model and measurement per cell, and the winner.
+type Entry struct {
+	Schema      string         `json:"schema"`
+	Time        string         `json:"time"` // RFC3339
+	GitRev      string         `json:"git_rev"`
+	Host        runledger.Host `json:"host"`
+	Matrix      string         `json:"matrix,omitempty"`
+	Fingerprint string         `json:"fingerprint"`
+	Device      string         `json:"device"`
+	Rows        int            `json:"rows"`
+	Cols        int            `json:"cols"`
+	Nnz         int            `json:"nnz"`
+	Workers     int            `json:"workers"`
+	Winner      Cell           `json:"winner"`
+	Cells       []Cell         `json:"cells"`
+}
+
+// Fingerprint hashes the matrix structure — dimensions plus the full
+// row-length profile — so two matrices with the same shape but
+// different sparsity patterns tune independently. Values are not
+// hashed: tuning depends on structure only.
+func Fingerprint[T matrix.Float](m *matrix.CSR[T]) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(m.NRows)
+	put(m.NCols)
+	put(m.Nnz())
+	for i := 0; i < m.NRows; i++ {
+		put(m.RowLen(i))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Append writes e as one JSONL line at path (creating the parent
+// directory), filling missing bookkeeping fields. One O_APPEND write,
+// so concurrent appenders interleave whole records.
+func Append(path string, e Entry) error {
+	if e.Schema == "" {
+		e.Schema = Schema
+	}
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339)
+	}
+	if e.GitRev == "" {
+		e.GitRev = runledger.GitRev()
+	}
+	if e.Host == (runledger.Host{}) {
+		e.Host = runledger.HostInfo()
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("tuner: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("tuner: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("tuner: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("tuner: %w", werr)
+	}
+	return nil
+}
+
+// Read loads all recognizable entries. Malformed or foreign-schema
+// lines are skipped, not fatal; a missing file reads as empty.
+func Read(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tuner: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Entry
+	for sc.Scan() {
+		var e Entry
+		if json.Unmarshal(sc.Bytes(), &e) != nil || e.Schema != Schema {
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("tuner: %w", err)
+	}
+	return out, nil
+}
+
+// Lookup returns the newest entry matching the fingerprint and device
+// (file order is append order, so the last match wins). An empty
+// device matches any device — matinfo -recommend uses it to surface
+// whatever sweep exists for a structure.
+func Lookup(entries []Entry, fingerprint, device string) (Entry, bool) {
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Fingerprint == fingerprint && (device == "" || entries[i].Device == device) {
+			return entries[i], true
+		}
+	}
+	return Entry{}, false
+}

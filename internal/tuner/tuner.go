@@ -1,0 +1,329 @@
+package tuner
+
+import (
+	"fmt"
+	"time"
+
+	"pjds/internal/advisor"
+	"pjds/internal/formats"
+	"pjds/internal/gpu"
+	"pjds/internal/hostkernel"
+	"pjds/internal/matrix"
+	"pjds/internal/telemetry"
+)
+
+// SpanLane is the trace lane tuner spans are emitted on, so
+// perfreport's critical-path analysis can attribute tuning cost
+// separately from kernels and transfers.
+const SpanLane = "tune"
+
+// Config parameterizes a sweep. The zero value tunes for the Fermi
+// C2070 with the process-default worker count, one warmup and three
+// timed replays per survivor, a 1.5× model pruning band, and the
+// default DB path.
+type Config struct {
+	// Device keys the tuning entry and bounds the grid (CMRS strips
+	// must fit a warp); nil selects gpu.TeslaC2070().
+	Device *gpu.Device
+	// Workers is the host-kernel worker count used for the replays
+	// (0 = process default). Recorded in the entry: timings are only
+	// comparable at the same width.
+	Workers int
+	// Warmup and Iters are the per-candidate replay counts (0 = 1
+	// warmup, 3 timed iterations; the best iteration counts).
+	Warmup, Iters int
+	// PruneFactor drops grid cells whose modeled traffic exceeds
+	// PruneFactor × the grid's best model before any measurement
+	// (0 = 1.5). The pJDS reference cell is never pruned — the
+	// measured-vs-reference gate needs it.
+	PruneFactor float64
+	// Grid overrides the default candidate grid when non-nil.
+	Grid []Cell
+	// Metrics receives the tuner_* counters; nil publishes to
+	// telemetry.Default().
+	Metrics *telemetry.Registry
+	// Spans, when non-nil, receives one span per sweep stage on the
+	// "tune" lane (offsets from the sweep start).
+	Spans *telemetry.SpanLog
+	// Now overrides the clock (tests); nil = time.Now.
+	Now func() time.Time
+}
+
+func (c Config) device() *gpu.Device {
+	if c.Device == nil {
+		return gpu.TeslaC2070()
+	}
+	return c.Device
+}
+
+func (c Config) now() func() time.Time {
+	if c.Now == nil {
+		return time.Now
+	}
+	return c.Now
+}
+
+func (c Config) iters() (warmup, timed int) {
+	warmup, timed = c.Warmup, c.Iters
+	if warmup <= 0 {
+		warmup = 1
+	}
+	if timed <= 0 {
+		timed = 3
+	}
+	return
+}
+
+func (c Config) pruneFactor() float64 {
+	if c.PruneFactor <= 0 {
+		return 1.5
+	}
+	return c.PruneFactor
+}
+
+func (c Config) metrics() *telemetry.Registry {
+	if c.Metrics == nil {
+		return telemetry.Default()
+	}
+	return c.Metrics
+}
+
+// Grid builds the default candidate grid for an n-row matrix: the CRS
+// and pJDS presets, SELL-C-σ over C ∈ {4, 8, 16, 32} × σ ∈ {1, 256,
+// 4096, n}, and CMRS strip heights {8, 32} clamped to the warp size.
+// Degenerate duplicates (σ clamping collapses cells on small
+// matrices) are deduplicated, keeping first occurrence order.
+func Grid(n int, dev *gpu.Device) []Cell {
+	if dev == nil {
+		dev = gpu.TeslaC2070()
+	}
+	cells := []Cell{
+		{Format: "crs"},
+		{Format: "pjds", C: 32, Sigma: n},
+	}
+	for _, c := range []int{4, 8, 16, 32} {
+		for _, sigma := range []int{1, 256, 4096, n} {
+			if sigma > n {
+				sigma = n
+			}
+			if sigma < 1 {
+				sigma = 1
+			}
+			cells = append(cells, Cell{Format: "sell", C: c, Sigma: sigma})
+		}
+	}
+	for _, h := range []int{8, 32} {
+		if h > dev.WarpSize {
+			h = dev.WarpSize
+		}
+		if h > formats.MaxStripHeight {
+			h = formats.MaxStripHeight
+		}
+		cells = append(cells, Cell{Format: "cmrs", Height: h})
+	}
+	seen := make(map[string]bool, len(cells))
+	out := cells[:0]
+	for _, c := range cells {
+		if !seen[c.key()] {
+			seen[c.key()] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// KernelFor instantiates the host kernel a cell names. All four
+// contenders run in the original basis and are bit-identical to the
+// naive reference, so a tuned pick can always be digest-checked
+// against naive. The pJDS cell runs as its SELL-32-∞ equivalent.
+func KernelFor(c Cell, m *matrix.CSR[float64], workers int, reg *telemetry.Registry) (hostkernel.Kernel, error) {
+	opt := hostkernel.Options{Workers: workers, Metrics: reg}
+	switch c.Format {
+	case "crs":
+		return hostkernel.New(hostkernel.KindBlocked, m, opt)
+	case "pjds":
+		opt.C, opt.Sigma = 32, m.NRows
+		if opt.Sigma < 1 {
+			opt.Sigma = 1
+		}
+		return hostkernel.New(hostkernel.KindSELL, m, opt)
+	case "sell":
+		opt.C, opt.Sigma = c.C, c.Sigma
+		return hostkernel.New(hostkernel.KindSELL, m, opt)
+	case "cmrs":
+		opt.C = c.Height
+		return hostkernel.New(hostkernel.KindCMRS, m, opt)
+	}
+	return nil, fmt.Errorf("tuner: unknown cell format %q", c.Format)
+}
+
+// modelBytesPerNnz is the Eq. 1 traffic prediction the pruning pass
+// ranks cells by (see advisor.RankFormats for the derivation).
+func modelBytesPerNnz(c *Cell, lens []int, alpha, nnzr float64, dev *gpu.Device) float64 {
+	base := 8*alpha + 16/nnzr
+	switch c.Format {
+	case "crs":
+		gather := float64(dev.SegmentBytes) / 16
+		if gather < 1 {
+			gather = 1
+		}
+		return 12*gather + base
+	case "cmrs":
+		return 13 + base
+	case "pjds":
+		c.Beta = formats.EstimateBeta(lens, 32, len(lens))
+	default:
+		c.Beta = formats.EstimateBeta(lens, c.C, c.Sigma)
+	}
+	return 12*(1+c.Beta) + base
+}
+
+// Tune sweeps the grid for m and returns the completed entry (not yet
+// persisted — TuneOrLookup handles the DB round trip). Every cell
+// first gets its model score; cells beyond the pruning band are
+// skipped, survivors are measured with warmup + best-of-iters timed
+// replays of the real host kernels.
+func Tune(m *matrix.CSR[float64], name string, cfg Config) (*Entry, error) {
+	dev := cfg.device()
+	now := cfg.now()
+	reg := cfg.metrics()
+	t0 := now()
+	span := func(stage string, start time.Time) {
+		if cfg.Spans == nil {
+			return
+		}
+		cfg.Spans.Add(telemetry.Span{
+			Lane: SpanLane, Cat: SpanLane, Name: stage,
+			Start: start.Sub(t0).Seconds(), End: now().Sub(t0).Seconds(),
+		})
+	}
+
+	st := matrix.ComputeStats(m)
+	lens := make([]int, m.NRows)
+	for i := range lens {
+		lens[i] = m.RowLen(i)
+	}
+	alpha := advisor.EstimateAlpha(st, dev)
+	nnzr := st.AvgRowLen
+	if nnzr <= 0 {
+		nnzr = 1
+	}
+
+	cells := cfg.Grid
+	if cells == nil {
+		cells = Grid(m.NRows, dev)
+	}
+	cells = append([]Cell(nil), cells...)
+
+	// Model pass: score every cell, then prune beyond the band.
+	tModel := now()
+	best := 0.0
+	for i := range cells {
+		cells[i].ModelBytesPerNnz = modelBytesPerNnz(&cells[i], lens, alpha, nnzr, dev)
+		if i == 0 || cells[i].ModelBytesPerNnz < best {
+			best = cells[i].ModelBytesPerNnz
+		}
+	}
+	band := best * cfg.pruneFactor()
+	pruned := 0
+	for i := range cells {
+		if cells[i].Format != "pjds" && cells[i].ModelBytesPerNnz > band {
+			cells[i].Pruned = true
+			pruned++
+		}
+	}
+	span("model-prune", tModel)
+
+	reg.Help("tuner_candidates_pruned_total", "grid cells rejected by the Eq. 1 model before measurement")
+	reg.Counter("tuner_candidates_pruned_total").Add(float64(pruned))
+
+	// Measurement pass: real timed replays of the surviving kernels.
+	warmup, iters := cfg.iters()
+	nnz := m.Nnz()
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)*0.125
+	}
+	y := make([]float64, m.NRows)
+	winner := -1
+	for i := range cells {
+		if cells[i].Pruned {
+			continue
+		}
+		tc := now()
+		k, err := KernelFor(cells[i], m, cfg.Workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		bestSec := 0.0
+		for it := 0; it < warmup+iters; it++ {
+			ts := now()
+			if err := k.MulVec(y, x); err != nil {
+				k.Close()
+				return nil, err
+			}
+			sec := now().Sub(ts).Seconds()
+			if it >= warmup && (bestSec == 0 || sec < bestSec) {
+				bestSec = sec
+			}
+		}
+		k.Close()
+		if nnz > 0 {
+			cells[i].MeasuredNsPerNnz = bestSec * 1e9 / float64(nnz)
+		}
+		if winner < 0 || cells[i].MeasuredNsPerNnz < cells[winner].MeasuredNsPerNnz {
+			winner = i
+		}
+		span("measure:"+cells[i].Label(), tc)
+	}
+	if winner < 0 {
+		return nil, fmt.Errorf("tuner: every grid cell was pruned")
+	}
+
+	reg.Help("tuner_sweeps_total", "full (C, σ) tuning sweeps executed")
+	reg.Counter("tuner_sweeps_total").Inc()
+	reg.Help("tuner_candidates_measured_total", "grid cells measured with timed replays")
+	reg.Counter("tuner_candidates_measured_total").Add(float64(len(cells) - pruned))
+
+	return &Entry{
+		Matrix:      name,
+		Fingerprint: Fingerprint(m),
+		Device:      dev.Name,
+		Rows:        m.NRows,
+		Cols:        m.NCols,
+		Nnz:         nnz,
+		Workers:     cfg.Workers,
+		Winner:      cells[winner],
+		Cells:       cells,
+	}, nil
+}
+
+// TuneOrLookup consults the DB at path ("" = DefaultPath) before
+// sweeping: a stored entry for the same structure fingerprint and
+// device is a cache hit and returns immediately (no re-sweep); a miss
+// tunes and appends. The bool result reports the cache hit.
+func TuneOrLookup(m *matrix.CSR[float64], name, path string, cfg Config) (*Entry, bool, error) {
+	if path == "" {
+		path = DefaultPath
+	}
+	reg := cfg.metrics()
+	reg.Help("tuner_cache_hits_total", "tuning requests answered from the persisted DB")
+	reg.Help("tuner_cache_misses_total", "tuning requests that required a sweep")
+	entries, err := Read(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if e, ok := Lookup(entries, Fingerprint(m), cfg.device().Name); ok {
+		reg.Counter("tuner_cache_hits_total").Inc()
+		return &e, true, nil
+	}
+	reg.Counter("tuner_cache_misses_total").Inc()
+	e, err := Tune(m, name, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := Append(path, *e); err != nil {
+		return nil, false, err
+	}
+	return e, false, nil
+}

@@ -1,0 +1,245 @@
+package tuner
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pjds/internal/matgen"
+	"pjds/internal/matrix"
+	"pjds/internal/telemetry"
+)
+
+func zoo(t *testing.T) map[string]*matrix.CSR[float64] {
+	t.Helper()
+	return map[string]*matrix.CSR[float64]{
+		"banded":   matgen.Banded(600, 4, 20, 50, 7),
+		"powerlaw": matgen.PowerLaw(500, 2, 80, 0.7, 11),
+		"random":   matgen.Random(400, 3, 10, 13),
+		"fem":      matgen.Stencil3D(8, 8, 8),
+	}
+}
+
+// TestTuneWinnerBeatsOrMatchesFixedFormats: across the zoo, the tuned
+// winner's measured speed must be within tolerance of every fixed
+// measured cell — in particular it can never lose to the pJDS preset,
+// which is never pruned.
+func TestTuneWinnerBeatsOrMatchesFixedFormats(t *testing.T) {
+	for name, m := range zoo(t) {
+		reg := telemetry.NewRegistry()
+		e, err := Tune(m, name, Config{Workers: 2, Metrics: reg})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.Winner.MeasuredNsPerNnz <= 0 {
+			t.Fatalf("%s: winner has no measurement", name)
+		}
+		sawPJDS := false
+		for _, c := range e.Cells {
+			if c.Format == "pjds" {
+				sawPJDS = true
+				if c.Pruned {
+					t.Fatalf("%s: pJDS reference cell was pruned", name)
+				}
+			}
+			if c.Pruned {
+				if c.MeasuredNsPerNnz != 0 {
+					t.Fatalf("%s: pruned cell %s has a measurement", name, c.Label())
+				}
+				continue
+			}
+			if e.Winner.MeasuredNsPerNnz > c.MeasuredNsPerNnz*1.001 {
+				t.Errorf("%s: winner %s (%.3f ns/nnz) slower than %s (%.3f)",
+					name, e.Winner.Label(), e.Winner.MeasuredNsPerNnz, c.Label(), c.MeasuredNsPerNnz)
+			}
+			if c.ModelBytesPerNnz <= 0 {
+				t.Errorf("%s: cell %s lacks a model score", name, c.Label())
+			}
+		}
+		if !sawPJDS {
+			t.Fatalf("%s: grid lost the pJDS reference", name)
+		}
+	}
+}
+
+// TestTuneSpansAndCounters: the sweep emits tune-lane spans and the
+// tuner_* counters.
+func TestTuneSpansAndCounters(t *testing.T) {
+	m := matgen.PowerLaw(300, 2, 50, 0.7, 3)
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanLog()
+	if _, err := Tune(m, "pl", Config{Workers: 1, Metrics: reg, Spans: spans}); err != nil {
+		t.Fatal(err)
+	}
+	got := spans.Spans()
+	if len(got) < 2 {
+		t.Fatalf("expected model + measure spans, got %d", len(got))
+	}
+	for _, s := range got {
+		if s.Lane != SpanLane || s.Cat != SpanLane {
+			t.Fatalf("span %q on lane %q cat %q, want tune", s.Name, s.Lane, s.Cat)
+		}
+		if s.End < s.Start {
+			t.Fatalf("span %q ends before it starts", s.Name)
+		}
+	}
+	var sweeps, measured float64
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "tuner_sweeps_total":
+			sweeps = s.Value
+		case "tuner_candidates_measured_total":
+			measured = s.Value
+		}
+	}
+	if sweeps != 1 || measured < 2 {
+		t.Fatalf("sweeps=%g measured=%g", sweeps, measured)
+	}
+}
+
+// TestDBRoundTripTolerant: entries survive the JSONL round trip with
+// corrupt and foreign-schema trailing lines interleaved, and a missing
+// file reads as empty.
+func TestDBRoundTripTolerant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "tuning.jsonl")
+	if es, err := Read(path); err != nil || es != nil {
+		t.Fatalf("missing file: %v %v", es, err)
+	}
+	e1 := Entry{Fingerprint: "f1", Device: "devA", Matrix: "m1",
+		Winner: Cell{Format: "sell", C: 8, Sigma: 256, MeasuredNsPerNnz: 1.5}}
+	e2 := Entry{Fingerprint: "f1", Device: "devA", Matrix: "m1",
+		Winner: Cell{Format: "cmrs", Height: 16, MeasuredNsPerNnz: 1.2}}
+	if err := Append(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption between valid records: truncated JSON, wrong schema,
+	// garbage bytes.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"schema\":\"pjds-tuning/v1\",\"fingerprint\":\"trunc\n")
+	f.WriteString("{\"schema\":\"other/v9\",\"fingerprint\":\"f9\"}\n")
+	f.WriteString("\x00\x01 not json at all\n")
+	f.Close()
+	if err := Append(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	es, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 {
+		t.Fatalf("read %d entries, want 2", len(es))
+	}
+	if es[0].Schema != Schema || es[0].GitRev == "" && es[0].Host.GoVersion == "" {
+		t.Error("bookkeeping fields not filled on append")
+	}
+	got, ok := Lookup(es, "f1", "devA")
+	if !ok || got.Winner.Label() != "CMRS-h16" {
+		t.Fatalf("Lookup returned %+v, want the newest (CMRS) entry", got.Winner)
+	}
+	if _, ok := Lookup(es, "f1", "devB"); ok {
+		t.Error("Lookup matched the wrong device")
+	}
+}
+
+// TestTuneOrLookupCachesByFingerprint: the first call sweeps and
+// persists, the second answers from the DB without re-sweeping, and a
+// structurally different matrix misses.
+func TestTuneOrLookupCachesByFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.jsonl")
+	m := matgen.Banded(300, 3, 12, 30, 5)
+	reg := telemetry.NewRegistry()
+	cfg := Config{Workers: 1, Metrics: reg}
+
+	e1, hit, err := TuneOrLookup(m, "banded", path, cfg)
+	if err != nil || hit {
+		t.Fatalf("first call: hit=%v err=%v", hit, err)
+	}
+	e2, hit, err := TuneOrLookup(m, "banded", path, cfg)
+	if err != nil || !hit {
+		t.Fatalf("second call: hit=%v err=%v", hit, err)
+	}
+	if e1.Winner.Label() != e2.Winner.Label() || e1.Fingerprint != e2.Fingerprint {
+		t.Fatalf("cache returned a different winner: %+v vs %+v", e1.Winner, e2.Winner)
+	}
+	var sweeps, hits, misses float64
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "tuner_sweeps_total":
+			sweeps = s.Value
+		case "tuner_cache_hits_total":
+			hits = s.Value
+		case "tuner_cache_misses_total":
+			misses = s.Value
+		}
+	}
+	if sweeps != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("sweeps=%g hits=%g misses=%g, want 1/1/1", sweeps, hits, misses)
+	}
+
+	// Same shape, different structure → different fingerprint → miss.
+	other := matgen.Random(300, 3, 12, 99)
+	if Fingerprint(m) == Fingerprint(other) {
+		t.Fatal("fingerprints collide across different structures")
+	}
+	if _, hit, err := TuneOrLookup(other, "random", path, cfg); err != nil || hit {
+		t.Fatalf("different structure: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestGridShape: presets present, dedup on small n, CMRS strips fit
+// the warp, σ never exceeds n.
+func TestGridShape(t *testing.T) {
+	g := Grid(100, nil)
+	seen := map[string]bool{}
+	var haveCRS, havePJDS, haveCMRS bool
+	for _, c := range g {
+		if seen[c.key()] {
+			t.Fatalf("duplicate grid cell %s", c.Label())
+		}
+		seen[c.key()] = true
+		switch c.Format {
+		case "crs":
+			haveCRS = true
+		case "pjds":
+			havePJDS = true
+		case "cmrs":
+			haveCMRS = true
+			if c.Height > 32 {
+				t.Fatalf("CMRS height %d exceeds warp", c.Height)
+			}
+		case "sell":
+			if c.Sigma > 100 || c.Sigma < 1 {
+				t.Fatalf("σ = %d outside [1, n]", c.Sigma)
+			}
+		}
+	}
+	if !haveCRS || !havePJDS || !haveCMRS {
+		t.Fatal("grid lost a preset contender")
+	}
+}
+
+// TestModelPruningMonotone: with a tight band, strictly worse-model
+// cells get pruned; the winner's model score is finite and positive.
+func TestModelPruningMonotone(t *testing.T) {
+	m := matgen.PowerLaw(400, 2, 60, 0.8, 17)
+	e, err := Tune(m, "pl", Config{Workers: 1, PruneFactor: 1.01, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	for _, c := range e.Cells {
+		if c.Pruned {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Error("a 1.01× band pruned nothing on a skewed matrix")
+	}
+	if math.IsNaN(e.Winner.ModelBytesPerNnz) || e.Winner.ModelBytesPerNnz <= 0 {
+		t.Errorf("winner model score %g", e.Winner.ModelBytesPerNnz)
+	}
+}

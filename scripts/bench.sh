@@ -77,6 +77,19 @@
 # with a wide band (e.g. p50_latency_seconds=0.5); allocs and
 # digest_mismatches are exact.
 #
+# pr10 mode: the format-selection benchmark. Sweeps the (C, σ)
+# auto-tuner over the Table I matrices (CRS, pJDS, SELL-C-σ and CMRS
+# contenders, Eq. 1 model pruning, timed replays), persists winners in
+# a fresh tuning DB, and writes the auto-vs-pJDS comparison to
+# BENCH_PR10.json (schema pjds-tune/v1). HARD-FAILS if (a) any tuned
+# pick's result vector is not bit-identical to the naive CSR
+# reference, (b) the auto pick is more than 25% slower than the pJDS
+# preset on any matrix (the tuned format must win or tie within
+# noise), or (c) the second run misses the tuning-DB cache anywhere
+# (tune-once-per-fingerprint is part of the contract). The ns/nnz
+# numbers are wall-clock — gate them with a wide band (e.g.
+# auto_ns_per_nnz=0.3); digest_match and cache_hit are exact.
+#
 # Usage: scripts/bench.sh [scale]        (default 0.05 — quick but stable)
 #        scripts/bench.sh pr2 [scale]
 #        scripts/bench.sh pr3 [scale]
@@ -86,6 +99,7 @@
 #        scripts/bench.sh pr7
 #        scripts/bench.sh pr8 [scale]
 #        scripts/bench.sh pr9 [seed]
+#        scripts/bench.sh pr10 [scale]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -123,8 +137,59 @@ pr9)
     MODE=pr9
     shift
     ;;
+pr10)
+    MODE=pr10
+    shift
+    ;;
 esac
 SCALE="${1:-0.05}"
+
+if [ "$MODE" = pr10 ]; then
+    TMP=$(mktemp -d)
+    trap 'rm -rf "$TMP"' EXIT
+    echo "== format-selection benchmark (auto-tuner vs pJDS preset, scale $SCALE) =="
+    go run ./cmd/spmvbench -format auto -scale "$SCALE" -host-iters 3 \
+        -tuning-db "$TMP/tuning.jsonl" -tune-json BENCH_PR10.json
+    echo "== second run (tuning-DB cache) =="
+    go run ./cmd/spmvbench -format auto -scale "$SCALE" -host-iters 3 \
+        -tuning-db "$TMP/tuning.jsonl" -tune-json "$TMP/second.json" >/dev/null
+    awk '
+        /"matrix":/ { m = $2; gsub(/[",]/, "", m) }
+        /"auto_ns_per_nnz":/ { auto = $2; gsub(/[^0-9.eE+-]/, "", auto) }
+        /"pjds_ns_per_nnz":/ {
+            pjds = $2; gsub(/[^0-9.eE+-]/, "", pjds)
+            if (auto + 0 <= 0 || pjds + 0 <= 0) {
+                print "FAIL: " m " missing a measurement" > "/dev/stderr"; bad = 1
+            } else if (auto + 0 > pjds * 1.25) {
+                printf "FAIL: %s auto pick %.3f ns/nnz is >25%% slower than pJDS %.3f\n", \
+                    m, auto, pjds > "/dev/stderr"
+                bad = 1
+            }
+            n++
+        }
+        /"digest_match": false/ {
+            print "FAIL: " m " tuned pick is not bit-identical to naive" > "/dev/stderr"
+            bad = 1
+        }
+        END {
+            if (n == 0) { print "FAIL: no entries in BENCH_PR10.json" > "/dev/stderr"; bad = 1 }
+            else if (!bad) printf "gate ok: %d matrices, auto within 25%% of pJDS, all digests MATCH\n", n
+            exit bad
+        }' BENCH_PR10.json
+    awk '
+        /"matrix":/ { n++ }
+        /"cache_hit": true/ { hits++ }
+        END {
+            if (n == 0 || hits != n) {
+                printf "FAIL: second run hit the tuning DB on %d/%d matrices\n", \
+                    hits, n > "/dev/stderr"
+                exit 1
+            }
+            printf "gate ok: second run answered all %d matrices from the tuning DB\n", n
+        }' "$TMP/second.json"
+    echo "wrote BENCH_PR10.json (gate with scripts/regress.sh OLD NEW 0.02 auto_ns_per_nnz=0.3,pjds_ns_per_nnz=0.3,model_bytes_per_nnz=0.05)"
+    exit 0
+fi
 
 if [ "$MODE" = pr9 ]; then
     SEED="${1:-42}"

@@ -7,8 +7,12 @@
 # parallel ingest-and-convert pipeline, and the host-kernel layer with
 # its worker pools), a seeded chaos smoke scenario, a conversion
 # determinism smoke (matinfo at 1 vs 4 workers must produce
-# byte-identical output), and a host-kernel byte-diff smoke (spmvbench
-# -hostbench digests must be identical for naive, blocked and sell). The chaos smoke also verifies the
+# byte-identical output), a host-kernel byte-diff smoke (spmvbench
+# -hostbench digests must be identical for naive, blocked, sell and
+# cmrs), and a format-tuning smoke (spmvbench -format auto must sweep,
+# digest-match naive on every matrix, surface its winner through
+# matinfo -recommend and perfreport -tune, and answer the second run
+# entirely from the tuning-DB cache). The chaos smoke also verifies the
 # flight recorder dumps a perfreport-readable incident trace on the
 # injected crash, and an endpoint smoke asserts a held scaling run
 # serves /metrics, /healthz, /spans, /health, /dashboard and
@@ -54,8 +58,9 @@ echo "== go test -race (ingest-and-convert pipeline) =="
 go test -race ./internal/matrix/... ./internal/core/... \
     ./internal/formats/... ./internal/par/... ./internal/convert/...
 
-echo "== go test -race (host kernels, worker pools) =="
-go test -race ./internal/hostkernel/... ./internal/cpu/...
+echo "== go test -race (host kernels, worker pools, tuner) =="
+go test -race ./internal/hostkernel/... ./internal/cpu/... \
+    ./internal/tuner/...
 
 echo "== host-kernel byte-diff smoke (blocked and sell vs naive) =="
 # Every host kernel must produce byte-identical results: the digest
@@ -66,8 +71,41 @@ go run ./cmd/spmvbench -hostbench -host-kernel blocked -host-iters 1 \
     -scale 0.02 | grep '^digest ' >"$TMP/host-blocked"
 go run ./cmd/spmvbench -hostbench -host-kernel sell -host-iters 1 \
     -scale 0.02 | grep '^digest ' >"$TMP/host-sell"
+go run ./cmd/spmvbench -hostbench -host-kernel cmrs -host-iters 1 \
+    -scale 0.02 | grep '^digest ' >"$TMP/host-cmrs"
 cmp "$TMP/host-naive" "$TMP/host-blocked"
 cmp "$TMP/host-naive" "$TMP/host-sell"
+cmp "$TMP/host-naive" "$TMP/host-cmrs"
+
+echo "== format tuning smoke (tune -> recommend -> run, digest + cache gates) =="
+# The auto-tuner sweeps the (C, σ) grid once, every tuned pick must be
+# bit-identical to the naive CSR reference (the MATCH digest lines),
+# matinfo -recommend and perfreport -tune must surface the persisted
+# winner, and a second bench run must answer every matrix from the DB
+# without re-sweeping.
+go run ./cmd/spmvbench -format auto -scale 0.02 -host-iters 1 \
+    -tuning-db "$TMP/tuning.jsonl" >"$TMP/tune1.out"
+grep '^digest ' "$TMP/tune1.out" | grep -v ' MATCH ' && {
+    echo "a tuned pick diverged from the naive digest:" >&2
+    cat "$TMP/tune1.out" >&2
+    exit 1
+}
+go run ./cmd/matinfo -gen sAMG -scale 0.02 -recommend \
+    -tuning-db "$TMP/tuning.jsonl" >"$TMP/recommend.out"
+grep -q '^tuned: ' "$TMP/recommend.out" || {
+    echo "matinfo -recommend did not surface the tuned winner:" >&2
+    cat "$TMP/recommend.out" >&2
+    exit 1
+}
+go run ./cmd/perfreport -tune -tuning-db "$TMP/tuning.jsonl" >/dev/null
+go run ./cmd/spmvbench -format auto -scale 0.02 -host-iters 1 \
+    -tuning-db "$TMP/tuning.jsonl" >"$TMP/tune2.out"
+if grep '^digest ' "$TMP/tune2.out" | grep -qv ' MATCH ' ||
+    grep -E '^[A-Za-z0-9]+ +[0-9]+ +[0-9]+ .* sweep ' "$TMP/tune2.out" >/dev/null; then
+    echo "second tuning run re-swept or lost bit-identity:" >&2
+    cat "$TMP/tune2.out" >&2
+    exit 1
+fi
 
 echo "== conversion determinism smoke (matinfo, 1 vs 4 workers) =="
 # The parallel ingest/convert pipeline must be bit-identical to the
